@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race cover bench figures experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation into ./results.
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/rtecbench           | tee results/fig4.txt
+	$(GO) run ./cmd/crowdbench          | tee results/fig5.txt
+	$(GO) run ./cmd/qeebench            | tee results/fig6.txt
+	$(GO) run ./cmd/gpmap -out results  | tee results/fig7-9.txt
+	$(GO) run ./cmd/datagen -stats      | tee results/dataset.txt
+
+# The extension experiments (ground-truth scoring, ablations).
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/veracitybench       | tee results/veracity.txt
+	$(GO) run ./cmd/delaybench          | tee results/delay.txt
+	$(GO) run ./cmd/selectionbench      | tee results/selection.txt
+
+clean:
+	rm -rf results

@@ -1,0 +1,269 @@
+package insight
+
+// Benchmarks regenerating the paper's evaluation figures (Section 7)
+// at test scale. The cmd/ binaries run the same experiments at the
+// paper's full scale and print the figures' data series:
+//
+//	Figure 4 — cmd/rtecbench   (CE recognition time vs working memory)
+//	Figure 5 — cmd/crowdbench  (online EM estimation quality)
+//	Figure 6 — cmd/qeebench    (query execution engine latency)
+//	Figures 7-9 — cmd/gpmap    (street network + GP flow estimates)
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/insight-dublin/insight/citygraph"
+	"github.com/insight-dublin/insight/crowd"
+	"github.com/insight-dublin/insight/crowd/qee"
+	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/gp"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// benchCity is a 1/8-scale Dublin (118 buses, 121 sensors) so the
+// Figure 4 sweep finishes in benchmark time; shapes are scale-free.
+func benchCity(b *testing.B) *dublin.City {
+	b.Helper()
+	city, err := dublin.NewCity(dublin.Config{
+		Seed:       1,
+		NumBuses:   118,
+		NumSensors: 121,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return city
+}
+
+// runFig4 measures one CE recognition pass at the given working
+// memory, in static or self-adaptive mode.
+func runFig4(b *testing.B, wmMinutes int, adaptive bool) {
+	city := benchCity(b)
+	reg, err := city.Registry(150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defs, err := traffic.Build(traffic.Config{
+		Registry:    reg,
+		Adaptive:    adaptive,
+		NoisyPolicy: traffic.Pessimistic,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wm := rtec.Time(wmMinutes * 60)
+	from := rtec.Time(7 * 3600)
+	sdes := city.Collect(from, from+wm)
+	events := make([]rtec.Event, len(sdes))
+	for i, s := range sdes {
+		events[i] = s.Event
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		part, err := rtec.NewPartitioned(defs, rtec.Options{WorkingMemory: wm, Step: wm},
+			4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := part.Input(events...); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		results, err := part.Query(from + wm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		merged := rtec.MergeResults(results)
+		b.ReportMetric(float64(merged.Stats.InputEvents), "SDEs")
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFig4_EventRecognition sweeps the working memory from 10 to
+// 110 minutes in static and self-adaptive mode (Figure 4). The paper's
+// findings to reproduce: recognition time grows roughly linearly with
+// the window, the self-adaptive overhead is minimal, and recognition
+// stays well under the window length (real-time).
+func BenchmarkFig4_EventRecognition(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{{"static", false}, {"adaptive", true}} {
+		for _, wmMin := range []int{10, 30, 50, 70, 90, 110} {
+			b.Run(fmt.Sprintf("%s/WM=%dmin", mode.name, wmMin), func(b *testing.B) {
+				runFig4(b, wmMin, mode.adaptive)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5_OnlineEM measures the online EM step over the paper's
+// ten simulated participants with four possible answers (Figure 5's
+// workload: 1000 fused queries).
+func BenchmarkFig5_OnlineEM(b *testing.B) {
+	probs := []float64{0.05, 0.15, 0.2, 0.25, 0.25, 0.38, 0.4, 0.5, 0.75, 0.9}
+	labels := []string{"congestion", "no congestion", "accident", "roadworks"}
+	sims := make([]*crowd.SimulatedParticipant, len(probs))
+	for i, p := range probs {
+		sims[i] = crowd.NewSimulatedParticipant(fmt.Sprintf("p%d", i+1), p, int64(i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := crowd.NewEstimator(crowd.EstimatorOptions{})
+		for q := 0; q < 1000; q++ {
+			truth := labels[rng.Intn(len(labels))]
+			task := crowd.Task{ID: "t", Labels: labels}
+			for _, sp := range sims {
+				task.Answers = append(task.Answers, sp.Answer(labels, truth))
+			}
+			if _, err := est.Process(task); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6_QEE measures a full crowdsourcing query execution
+// (map + reduce) per network type with the paper-calibrated latency
+// profile on the virtual clock (Figure 6).
+func BenchmarkFig6_QEE(b *testing.B) {
+	for _, network := range qee.Networks {
+		b.Run(network.String(), func(b *testing.B) {
+			engine := qee.NewEngine(qee.Options{Seed: 2})
+			var selected []crowd.Participant
+			for i := 0; i < 5; i++ {
+				id := fmt.Sprintf("w%d", i)
+				if err := engine.Connect(qee.Device{
+					Participant: crowd.Participant{ID: id},
+					Network:     network,
+					Respond:     func(qee.Query) (string, time.Duration) { return "yes", 0 },
+				}); err != nil {
+					b.Fatal(err)
+				}
+				selected = append(selected, crowd.Participant{ID: id})
+			}
+			query := qee.Query{ID: "q", Answers: []string{"yes", "no"}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Execute(context.Background(), query, selected); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_GP measures the traffic modelling pass of Figure 9:
+// kernel construction, fitting on the SCATS readings and predicting
+// every junction of the street network.
+func BenchmarkFig9_GP(b *testing.B) {
+	g := citygraph.GenerateDublin(citygraph.DublinConfig{GridX: 20, GridY: 12, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	var obs []gp.Observation
+	for i := 0; i < g.NumVertices()/4; i++ {
+		obs = append(obs, gp.Observation{
+			Vertex: rng.Intn(g.NumVertices()),
+			Value:  200 + rng.Float64()*1200,
+		})
+	}
+	b.Run("kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.RegularizedLaplacian(g, 2, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	kernel, err := gp.RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fit+predict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg, err := gp.Fit(kernel, obs, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := reg.PredictAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDatasetGeneration measures the synthetic stream generator
+// (the stand-in for the 13 GB Dublin feed).
+func BenchmarkDatasetGeneration(b *testing.B) {
+	city := benchCity(b)
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		gen := city.Stream(0, 600)
+		for {
+			_, ok := gen.Next()
+			if !ok {
+				break
+			}
+			events++
+		}
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "SDEs/op")
+}
+
+// BenchmarkStepRatio measures the amortized cost of overlapping
+// windows: with WM fixed at 20 min, smaller steps re-evaluate each SDE
+// more often (an SDE is inside WM/step consecutive windows). This is
+// the recognition-cost side of the Figure 2 trade-off whose benefit
+// cmd/delaybench measures.
+func BenchmarkStepRatio(b *testing.B) {
+	city := benchCity(b)
+	const wmMin = 20
+	for _, stepMin := range []int{20, 10, 5} {
+		b.Run(fmt.Sprintf("WM=20min/step=%dmin", stepMin), func(b *testing.B) {
+			reg, err := city.Registry(150)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defs, err := traffic.Build(traffic.Config{Registry: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			from := rtec.Time(7 * 3600)
+			until := from + 3600 // one hour monitored
+			sdes := city.Collect(from, until)
+			wm := rtec.Time(wmMin * 60)
+			step := rtec.Time(stepMin * 60)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				engine, err := rtec.NewEngine(defs, rtec.Options{WorkingMemory: wm, Step: step})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cursor := 0
+				b.StartTimer()
+				for q := from + step; q <= until; q += step {
+					for cursor < len(sdes) && sdes[cursor].Arrival <= q {
+						if err := engine.Input(sdes[cursor].Event); err != nil {
+							b.Fatal(err)
+						}
+						cursor++
+					}
+					if _, err := engine.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(len(sdes)), "SDEs")
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package citygraph
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/insight-dublin/insight/geo"
+)
+
+// DublinConfig parameterizes the synthetic Dublin street network
+// generator. The defaults produce a network at roughly the granularity
+// of the paper's Figure 8: an irregular street grid inside the Dublin
+// bounding window with the river Liffey cutting east-west through the
+// center, crossed by a limited number of bridges.
+type DublinConfig struct {
+	// Box is the bounding window the network is restricted to
+	// (Section 7.3: "the network is restricted to a bounding window
+	// of the size of the city"). Zero value means geo.Dublin.
+	Box geo.Box
+	// GridX, GridY are the junction grid dimensions before jitter
+	// and pruning. Defaults: 36 x 22 (≈ 790 junctions, the same
+	// order as the 966 SCATS sensors mapped onto it).
+	GridX, GridY int
+	// Bridges is the number of river crossings kept. Default: 8
+	// (central Dublin has O(10) Liffey bridges).
+	Bridges int
+	// Jitter perturbs junction positions by up to this fraction of
+	// the grid spacing, so streets are not perfectly rectilinear.
+	// Default: 0.25.
+	Jitter float64
+	// PruneProb removes this fraction of interior grid edges to make
+	// the street pattern irregular. Default: 0.12.
+	PruneProb float64
+	// DiagonalProb adds diagonal avenues across grid cells with this
+	// probability. Default: 0.06.
+	DiagonalProb float64
+	// Seed drives the deterministic pseudo-random layout.
+	Seed int64
+}
+
+func (c DublinConfig) withDefaults() DublinConfig {
+	zero := geo.Box{}
+	if c.Box == zero {
+		c.Box = geo.Dublin
+	}
+	if c.GridX == 0 {
+		c.GridX = 36
+	}
+	if c.GridY == 0 {
+		c.GridY = 22
+	}
+	if c.Bridges == 0 {
+		c.Bridges = 8
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.25
+	}
+	if c.PruneProb == 0 {
+		c.PruneProb = 0.12
+	}
+	if c.DiagonalProb == 0 {
+		c.DiagonalProb = 0.06
+	}
+	return c
+}
+
+// GenerateDublin builds the synthetic Dublin-like street network. The
+// result is deterministic for a given configuration, always a single
+// connected component, and lies entirely inside cfg.Box.
+func GenerateDublin(cfg DublinConfig) *Graph {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph()
+
+	nx, ny := cfg.GridX, cfg.GridY
+	dLat := (cfg.Box.MaxLat - cfg.Box.MinLat) / float64(ny-1)
+	dLon := (cfg.Box.MaxLon - cfg.Box.MinLon) / float64(nx-1)
+	riverLat := cfg.Box.MinLat + (cfg.Box.MaxLat-cfg.Box.MinLat)*0.5
+
+	// Lay the jittered junction grid.
+	ids := make([][]int, ny)
+	for y := 0; y < ny; y++ {
+		ids[y] = make([]int, nx)
+		for x := 0; x < nx; x++ {
+			lat := cfg.Box.MinLat + float64(y)*dLat
+			lon := cfg.Box.MinLon + float64(x)*dLon
+			// Jitter interior junctions only, so the window edge stays tight.
+			if x > 0 && x < nx-1 {
+				lon += (r.Float64()*2 - 1) * cfg.Jitter * dLon
+			}
+			if y > 0 && y < ny-1 {
+				lat += (r.Float64()*2 - 1) * cfg.Jitter * dLat
+				// Keep junctions off the river line itself.
+				if math.Abs(lat-riverLat) < dLat*0.3 {
+					if lat >= riverLat {
+						lat = riverLat + dLat*0.3
+					} else {
+						lat = riverLat - dLat*0.3
+					}
+				}
+			}
+			ids[y][x] = g.AddVertex(geo.At(lat, lon))
+		}
+	}
+
+	crossesRiver := func(a, b geo.Point) bool {
+		lo, hi := a.Lat, b.Lat
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return lo < riverLat && hi > riverLat
+	}
+
+	// Pick the bridge columns: evenly spaced across the window with a
+	// bias toward the center (central Dublin has the densest crossings).
+	bridgeCols := make(map[int]bool)
+	for i := 0; i < cfg.Bridges; i++ {
+		frac := (float64(i) + 0.5) / float64(cfg.Bridges)
+		// Squeeze toward the center with a smoothstep.
+		frac = frac + 0.35*(0.5-frac)*math.Sin(frac*math.Pi)
+		bridgeCols[int(frac*float64(nx-1))] = true
+	}
+
+	// Grid edges, pruned for irregularity. River crossings only at bridges.
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				a, b := ids[y][x], ids[y][x+1]
+				if !crossesRiver(g.Vertex(a).Pos, g.Vertex(b).Pos) && r.Float64() >= cfg.PruneProb {
+					g.AddEdge(a, b)
+				}
+			}
+			if y+1 < ny {
+				a, b := ids[y][x], ids[y+1][x]
+				river := crossesRiver(g.Vertex(a).Pos, g.Vertex(b).Pos)
+				switch {
+				case river && bridgeCols[x]:
+					g.AddEdge(a, b) // a bridge
+				case river:
+					// no crossing here
+				case r.Float64() >= cfg.PruneProb:
+					g.AddEdge(a, b)
+				}
+			}
+			// Occasional diagonal avenue.
+			if x+1 < nx && y+1 < ny && r.Float64() < cfg.DiagonalProb {
+				a, b := ids[y][x], ids[y+1][x+1]
+				if !crossesRiver(g.Vertex(a).Pos, g.Vertex(b).Pos) {
+					g.AddEdge(a, b)
+				}
+			}
+		}
+	}
+
+	connectComponents(g)
+	return g
+}
+
+// connectComponents stitches any stray components onto the largest one
+// via their nearest junction pair, so the generated network is always
+// connected (a disconnected graph would make the Laplacian kernel
+// block-diagonal and the GP unable to propagate information).
+func connectComponents(g *Graph) {
+	for {
+		comps := g.ConnectedComponents()
+		if len(comps) <= 1 {
+			return
+		}
+		main, stray := comps[0], comps[1]
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for _, a := range stray {
+			pa := g.Vertex(a).Pos
+			for _, b := range main {
+				if d := geo.Distance(pa, g.Vertex(b).Pos); d < bestD {
+					bestA, bestB, bestD = a, b, d
+				}
+			}
+		}
+		g.AddEdge(bestA, bestB)
+	}
+}

@@ -1,0 +1,139 @@
+package citygraph
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/insight-dublin/insight/geo"
+)
+
+// RenderOptions controls RenderSVG.
+type RenderOptions struct {
+	// Width of the output image in pixels; height follows the
+	// bounding box aspect ratio. Default 1200.
+	Width int
+	// Values holds an optional per-vertex scalar (e.g. GP traffic
+	// flow estimates). When set, vertices are shaded green (low)
+	// through yellow to red (high), reproducing Figure 9's "high
+	// values obtain a red colour while low values obtain green".
+	Values []float64
+	// Sensors marks vertex IDs rendered as black dots, reproducing
+	// Figure 8's "SCATS locations, depicted as black dots".
+	Sensors []int
+	// Highlights marks vertex IDs rendered as red rings — the
+	// operator dashboard uses it for currently congested
+	// intersections and active alerts.
+	Highlights []int
+	// Title is an optional caption.
+	Title string
+}
+
+// RenderSVG writes the street network as an SVG document. It
+// reproduces the visual style of the paper's Figures 7-9: grey street
+// segments, optional black sensor dots and optional green-to-red
+// value shading.
+func (g *Graph) RenderSVG(w io.Writer, opts RenderOptions) error {
+	width := opts.Width
+	if width == 0 {
+		width = 1200
+	}
+	if len(opts.Values) > 0 && len(opts.Values) != g.NumVertices() {
+		return fmt.Errorf("citygraph: %d values for %d vertices", len(opts.Values), g.NumVertices())
+	}
+
+	box := g.boundingBox()
+	dLat := box.MaxLat - box.MinLat
+	dLon := box.MaxLon - box.MinLon
+	if dLat == 0 || dLon == 0 {
+		return fmt.Errorf("citygraph: degenerate bounding box %+v", box)
+	}
+	// Compress longitude by cos(lat) so the city is not stretched.
+	aspect := dLat / (dLon * math.Cos(box.Center().Lat*math.Pi/180))
+	height := int(float64(width) * aspect)
+	margin := 20.0
+
+	px := func(p geo.Point) (float64, float64) {
+		x := margin + (p.Lon-box.MinLon)/dLon*(float64(width)-2*margin)
+		y := margin + (box.MaxLat-p.Lat)/dLat*(float64(height)-2*margin)
+		return x, y
+	}
+
+	var buf []byte
+	put := func(format string, args ...any) {
+		buf = append(buf, fmt.Sprintf(format, args...)...)
+	}
+	put(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height+30, width, height+30)
+	put(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		put(`<text x="%d" y="%d" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+			10, height+20, opts.Title)
+	}
+	// Street segments.
+	for _, e := range g.edges {
+		x1, y1 := px(g.vertices[e.A].Pos)
+		x2, y2 := px(g.vertices[e.B].Pos)
+		put(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-width="1"/>`+"\n",
+			x1, y1, x2, y2)
+	}
+	// Value-shaded junctions.
+	if len(opts.Values) > 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range opts.Values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		for i, v := range opts.Values {
+			x, y := px(g.vertices[i].Pos)
+			put(`<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, heatColor(v, lo, hi))
+		}
+	}
+	// Sensor dots on top.
+	for _, id := range opts.Sensors {
+		if id < 0 || id >= len(g.vertices) {
+			return fmt.Errorf("citygraph: sensor vertex %d out of range", id)
+		}
+		x, y := px(g.vertices[id].Pos)
+		put(`<circle cx="%.1f" cy="%.1f" r="2.2" fill="black"/>`+"\n", x, y)
+	}
+	// Highlight rings above everything else.
+	for _, id := range opts.Highlights {
+		if id < 0 || id >= len(g.vertices) {
+			return fmt.Errorf("citygraph: highlight vertex %d out of range", id)
+		}
+		x, y := px(g.vertices[id].Pos)
+		put(`<circle cx="%.1f" cy="%.1f" r="7" fill="none" stroke="#d00" stroke-width="2.5"/>`+"\n", x, y)
+	}
+	put("</svg>\n")
+	_, err := w.Write(buf)
+	return err
+}
+
+// heatColor maps v in [lo, hi] onto a green → yellow → red gradient.
+func heatColor(v, lo, hi float64) string {
+	var t float64
+	if hi > lo {
+		t = (v - lo) / (hi - lo)
+	}
+	var rC, gC float64
+	if t < 0.5 { // green to yellow
+		rC, gC = 2*t, 1
+	} else { // yellow to red
+		rC, gC = 1, 2*(1-t)
+	}
+	return fmt.Sprintf("#%02x%02x00", int(rC*255+0.5), int(gC*255+0.5))
+}
+
+func (g *Graph) boundingBox() geo.Box {
+	box := geo.Box{
+		MinLat: math.Inf(1), MinLon: math.Inf(1),
+		MaxLat: math.Inf(-1), MaxLon: math.Inf(-1),
+	}
+	for _, v := range g.vertices {
+		box.MinLat = math.Min(box.MinLat, v.Pos.Lat)
+		box.MaxLat = math.Max(box.MaxLat, v.Pos.Lat)
+		box.MinLon = math.Min(box.MinLon, v.Pos.Lon)
+		box.MaxLon = math.Max(box.MaxLon, v.Pos.Lon)
+	}
+	return box
+}

@@ -1,0 +1,175 @@
+// Command crowdbench regenerates Figure 5 of the paper: the online
+// Expectation-Maximization estimation of participant quality. Ten
+// simulated participants with the paper's error probabilities answer
+// 1000 queries with four possible answers each; the tool prints the
+// estimate trajectories, the relative estimation errors, the peaked-
+// posterior statistic ("94% of posteriors > 0.99" in the paper) and a
+// batch-EM comparison.
+//
+// Usage:
+//
+//	crowdbench [-queries 1000] [-trace 100] [-csv trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"github.com/insight-dublin/insight/crowd"
+)
+
+// paperProbs are the error probabilities of Section 7.2.
+var paperProbs = []float64{0.05, 0.15, 0.2, 0.25, 0.25, 0.38, 0.4, 0.5, 0.75, 0.9}
+
+var labels = []string{"congestion", "no congestion", "accident", "roadworks"}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowdbench: ")
+	var (
+		queries = flag.Int("queries", 1000, "number of crowdsourcing queries")
+		trace   = flag.Int("trace", 100, "print estimates every N queries")
+		csvPath = flag.String("csv", "", "optional CSV file for the full trajectories")
+		seed    = flag.Int64("seed", 7, "simulation seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	sims := make([]*crowd.SimulatedParticipant, len(paperProbs))
+	ids := make([]string, len(paperProbs))
+	for i, p := range paperProbs {
+		ids[i] = fmt.Sprintf("p%d", i+1)
+		sims[i] = crowd.NewSimulatedParticipant(ids[i], p, rng.Int63())
+	}
+	est := crowd.NewEstimator(crowd.EstimatorOptions{})
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprint(csv, "query")
+		for _, id := range ids {
+			fmt.Fprintf(csv, ",%s", id)
+		}
+		fmt.Fprintln(csv)
+	}
+
+	fmt.Printf("Figure 5 — online EM estimation of participant quality\n")
+	fmt.Printf("%d participants, 4 answers, %d queries, p̂₀ = 0.25\n\n", len(paperProbs), *queries)
+
+	var tasks []crowd.Task // retained for the batch-EM comparison
+	peaked := 0
+	for q := 1; q <= *queries; q++ {
+		truth := labels[rng.Intn(len(labels))]
+		task := crowd.Task{ID: fmt.Sprintf("q%d", q), Labels: labels}
+		for _, sp := range sims {
+			task.Answers = append(task.Answers, sp.Answer(labels, truth))
+		}
+		tasks = append(tasks, task)
+		v, err := est.Process(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.Peaked(0.99) {
+			peaked++
+		}
+		if csv != nil {
+			fmt.Fprintf(csv, "%d", q)
+			for _, id := range ids {
+				fmt.Fprintf(csv, ",%.4f", est.ErrorProb(id))
+			}
+			fmt.Fprintln(csv)
+		}
+		if *trace > 0 && q%*trace == 0 {
+			fmt.Printf("after %4d queries:", q)
+			for _, id := range ids {
+				fmt.Printf(" %.2f", est.ErrorProb(id))
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Printf("\nfinal estimates vs truth (relative error):\n")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "participant\ttrue p\testimate\trel. error")
+	for i, id := range ids {
+		got := est.ErrorProb(id)
+		rel := (got - paperProbs[i]) / paperProbs[i]
+		fmt.Fprintf(w, "%s\t%.2f\t%.3f\t%+.1f%%\n", id, paperProbs[i], got, 100*rel)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\npeaked posteriors (max > 0.99): %.1f%% of %d queries (paper: 94%%)\n",
+		100*float64(peaked)/float64(*queries), *queries)
+
+	ordered := true
+	for i := 0; i+1 < len(ids); i++ {
+		if paperProbs[i+1]-paperProbs[i] >= 0.04 &&
+			est.ErrorProb(ids[i]) >= est.ErrorProb(ids[i+1]) {
+			ordered = false
+		}
+	}
+	fmt.Printf("quality ordering correct (ignoring near-ties): %v\n", ordered)
+
+	// Ablation: batch EM over the full history. Accuracy is similar,
+	// but it must revisit every answer at each iteration — unusable
+	// on an unbounded stream (the paper's argument for online EM).
+	batch, iters, err := crowd.BatchEM(tasks, crowd.EstimatorOptions{}, 50, 1e-5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var onlineMAE, batchMAE float64
+	for i, id := range ids {
+		onlineMAE += math.Abs(est.ErrorProb(id) - paperProbs[i])
+		batchMAE += math.Abs(batch[id] - paperProbs[i])
+	}
+	onlineMAE /= float64(len(ids))
+	batchMAE /= float64(len(ids))
+	fmt.Printf("\nbatch EM comparison: %d iterations over %d stored tasks\n", iters, len(tasks))
+	fmt.Printf("mean absolute error: online %.4f, batch %.4f\n", onlineMAE, batchMAE)
+	fmt.Printf("online EM memory: O(participants); batch EM memory: O(all answers)\n")
+
+	// Ablation: the stochastic-approximation schedule. The running
+	// average (γ_t = 1/(t+1)) converges on stationary participants;
+	// the paper's literal γ_t = t/(t+1) weights recent posteriors
+	// heavily; a constant step trades asymptotic variance for the
+	// ability to track drifting participants.
+	fmt.Printf("\ngamma schedule ablation (same %d queries, stationary participants):\n", *queries)
+	schedules := []struct {
+		name  string
+		gamma crowd.GammaFunc
+	}{
+		{"1/(t+1) running average", crowd.DefaultGamma},
+		{"t/(t+1) paper schedule", crowd.PaperGamma},
+		{"constant 0.05", crowd.ConstantGamma(0.05)},
+	}
+	for _, sched := range schedules {
+		est2 := crowd.NewEstimator(crowd.EstimatorOptions{Gamma: sched.gamma})
+		for _, task := range tasks {
+			if _, err := est2.Process(task); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var mae float64
+		for i, id := range ids {
+			mae += math.Abs(est2.ErrorProb(id) - paperProbs[i])
+		}
+		fmt.Printf("  %-24s MAE %.4f\n", sched.name, mae/float64(len(ids)))
+	}
+	fmt.Println("\nNote: read literally (as the weight on the NEW observation), the")
+	fmt.Println("paper's γ_t = t/(t+1) cannot converge — the estimate just chases the")
+	fmt.Println("latest posterior. Figure 5's convergence is only reproducible when")
+	fmt.Println("γ_t weights the OLD estimate, i.e. an update weight of 1/(t+1); that")
+	fmt.Println("reading is this tool's default.")
+}

@@ -1,0 +1,159 @@
+// Command veracitybench scores the paper's veracity-handling policies
+// against ground truth — the experiment the recorded Dublin streams
+// could not support. A synthetic city with a configurable fraction of
+// faulty buses (and optionally miscalibrated SCATS sensors) is
+// monitored under four configurations:
+//
+//	static          rule-set (3): every bus report is trusted
+//	self-adaptive   rule-sets (3′)+(5): disagreeing buses are
+//	                discarded until they agree again
+//	crowd-assisted  rule-sets (3′)+(5) plus crowdsourced verdicts that
+//	                rehabilitate buses the crowd proves right
+//	crowd-validated rule-sets (3′)+(4): buses become unreliable only
+//	                after the crowd confirms the SCATS sensors
+//
+// For each configuration the recognised busCongestion intervals are
+// compared, per SCATS intersection, with the ground-truth congestion
+// field, and precision/recall/F1 are reported.
+//
+// Usage:
+//
+//	veracitybench [-buses 150] [-sensors 150] [-noisy 0.3] [-hours 3]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	insight "github.com/insight-dublin/insight"
+	"github.com/insight-dublin/insight/crowd/qee"
+	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/eval"
+	"github.com/insight-dublin/insight/interval"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("veracitybench: ")
+	var (
+		buses        = flag.Int("buses", 150, "bus fleet size")
+		sensors      = flag.Int("sensors", 150, "SCATS sensor count")
+		noisy        = flag.Float64("noisy", 0.3, "fraction of faulty buses")
+		noisyScats   = flag.Float64("noisyscats", 0.1, "fraction of miscalibrated SCATS sensors")
+		hours        = flag.Float64("hours", 3, "monitored duration (from 07:00)")
+		participants = flag.Int("participants", 24, "crowd volunteers for the crowd-validated run")
+		seed         = flag.Int64("seed", 5, "simulation seed")
+	)
+	flag.Parse()
+
+	mkCity := func() *dublin.City {
+		city, err := dublin.NewCity(dublin.Config{
+			Seed:               *seed,
+			NumBuses:           *buses,
+			NumSensors:         *sensors,
+			NoisyBusFraction:   *noisy,
+			NoisyScatsFraction: *noisyScats,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return city
+	}
+
+	from := rtec.Time(7 * 3600)
+	until := from + rtec.Time(*hours*3600)
+
+	fmt.Printf("veracity handling vs ground truth — %d buses (%.0f%% faulty), %d sensors (%.0f%% miscalibrated), %.1f h\n\n",
+		*buses, *noisy*100, *sensors, *noisyScats*100, *hours)
+
+	type config struct {
+		name  string
+		cfg   traffic.Config
+		crowd bool
+	}
+	configs := []config{
+		{"static (rule-set 3)", traffic.Config{}, false},
+		{"self-adaptive (3'+5)", traffic.Config{Adaptive: true, NoisyPolicy: traffic.Pessimistic}, false},
+		{"crowd-assisted (3'+5+crowd)", traffic.Config{Adaptive: true, NoisyPolicy: traffic.Pessimistic}, true},
+		{"crowd-validated (3'+4+crowd)", traffic.Config{Adaptive: true, NoisyPolicy: traffic.CrowdValidated}, true},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "configuration\tprecision\trecall\tF1\taccuracy\tnoisy-bus flags")
+	for _, c := range configs {
+		city := mkCity()
+		var vols []insight.SimParticipant
+		if c.crowd {
+			inters := city.Intersections()
+			for i := 0; i < *participants && len(inters) > 0; i++ {
+				vols = append(vols, insight.SimParticipant{
+					ID:        fmt.Sprintf("vol%02d", i),
+					Pos:       inters[(i*5)%len(inters)].Pos,
+					ErrorProb: 0.1,
+					Network:   qee.Network(i % 3),
+				})
+			}
+		}
+		sys, err := insight.New(insight.Config{
+			City:          city,
+			Seed:          *seed,
+			WorkingMemory: 1800,
+			Step:          900,
+			Traffic:       c.cfg,
+			Participants:  vols,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		recognised := eval.NewTimeline()
+		noisyFlags := 0
+		err = sys.Run(context.Background(), from, until, func(r *insight.Report) error {
+			// Accumulate each intersection's busCongestion view of
+			// the newly covered step (avoid re-counting the window
+			// overlap in the flag tally; the timeline unions anyway).
+			for kv, l := range r.Result.Fluents[traffic.BusCongestion] {
+				recognised.Add(kv.Key, l)
+			}
+			noisyFlags += len(r.NoisyBuses)
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Score per SCATS intersection against the ground-truth field.
+		var keys []string
+		for _, in := range city.Intersections() {
+			keys = append(keys, in.ID)
+		}
+		reg := sys.Registry()
+		conf, err := eval.Score(keys,
+			recognised.Get,
+			func(key string, tm interval.Time) bool {
+				in, _ := reg.Lookup(key)
+				return city.IsCongested(in.Pos, tm)
+			},
+			interval.Span{Start: from, End: until}, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%d\n",
+			c.name, conf.Precision(), conf.Recall(), conf.F1(), conf.Accuracy(), noisyFlags)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nShapes to check: static recognition suffers the faulty buses' false")
+	fmt.Println("reports (markedly lower precision and F1); discarding unreliable")
+	fmt.Println("sources (3'+5) recovers precision; crowd assistance rehabilitates")
+	fmt.Println("wrongly flagged buses (fewer noisy-bus flags at equal accuracy);")
+	fmt.Println("rule-set (4) — noisy only after crowd confirmation — trades some")
+	fmt.Println("precision back for recall.")
+}

@@ -1,0 +1,52 @@
+package crowd_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/insight-dublin/insight/crowd"
+)
+
+// One online-EM step (Algorithm 1 of the paper): fuse answers about a
+// source disagreement and update the participants' error estimates.
+func ExampleEstimator_Process() {
+	est := crowd.NewEstimator(crowd.EstimatorOptions{})
+	verdict, err := est.Process(crowd.Task{
+		ID:     "oconnell-bridge@t=600",
+		Labels: []string{"congestion", "no congestion"},
+		Answers: []crowd.Answer{
+			{Participant: "anna", Label: "no congestion"},
+			{Participant: "brian", Label: "no congestion"},
+			{Participant: "ciara", Label: "congestion"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verdict:", verdict.Best)
+	fmt.Printf("outvoted participant now looks worse: %.3f > %.3f\n",
+		est.ErrorProb("ciara"), est.ErrorProb("anna"))
+	// Output:
+	// verdict: no congestion
+	// outvoted participant now looks worse: 0.500 > 0.250
+}
+
+// The prior from the CE component (Section 5.1): if most buses report
+// congestion, the crowd needs stronger evidence to overturn it.
+func ExampleEstimator_Posterior() {
+	est := crowd.NewEstimator(crowd.EstimatorOptions{})
+	task := crowd.Task{
+		ID:     "x",
+		Labels: []string{"congestion", "no congestion"},
+		// 3 of 4 buses said congestion.
+		Prior:   []float64{0.75, 0.25},
+		Answers: []crowd.Answer{{Participant: "p", Label: "no congestion"}},
+	}
+	v, err := est.Posterior(task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MAP label:", v.Best)
+	// Output:
+	// MAP label: congestion
+}

@@ -1,0 +1,70 @@
+package qee_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/insight-dublin/insight/crowd"
+	"github.com/insight-dublin/insight/crowd/qee"
+	"github.com/insight-dublin/insight/geo"
+)
+
+// One crowdsourcing query through the MapReduce execution engine:
+// connect devices, execute the map phase, read the reduce counts.
+func Example() {
+	engine := qee.NewEngine(qee.Options{Seed: 1})
+	answers := map[string]string{"anna": "yes", "brian": "yes", "ciara": "no"}
+	for id, label := range answers {
+		label := label
+		if err := engine.Connect(qee.Device{
+			Participant: crowd.Participant{ID: id},
+			Network:     qee.ThreeG,
+			Respond: func(qee.Query) (string, time.Duration) {
+				return label, 2 * time.Second
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	exec, err := engine.Execute(context.Background(), qee.Query{
+		ID:       "q1",
+		Question: "Is there a traffic congestion at O'Connell Bridge?",
+		Answers:  []string{"yes", "no"},
+		Pos:      geo.At(53.3472, -6.2592),
+	}, []crowd.Participant{{ID: "anna"}, {ID: "brian"}, {ID: "ciara"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduce counts: yes=%d no=%d\n", exec.Counts["yes"], exec.Counts["no"])
+	// Output:
+	// reduce counts: yes=2 no=1
+}
+
+// A smartphone-sensor MapReduce round (Section 5.3): devices sample
+// their current speed; the reduce phase aggregates.
+func ExampleEngine_ExecuteSensor() {
+	engine := qee.NewEngine(qee.Options{Seed: 1})
+	speeds := map[string]float64{"taxi1": 14, "taxi2": 22, "taxi3": 18}
+	for id, v := range speeds {
+		v := v
+		if err := engine.ConnectSensor(qee.Device{
+			Participant: crowd.Participant{ID: id},
+			Network:     qee.WiFi,
+		}, func(qee.SensorQuery) (float64, time.Duration) { return v, 0 }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	agg, err := engine.ExecuteSensor(context.Background(), qee.SensorQuery{
+		ID:     "speed@quays",
+		Metric: "speed-kmh",
+	}, []crowd.Participant{{ID: "taxi1"}, {ID: "taxi2"}, {ID: "taxi3"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d samples, mean %.0f km/h (min %.0f, max %.0f)\n",
+		agg.Count, agg.Mean, agg.Min, agg.Max)
+	// Output:
+	// 3 samples, mean 18 km/h (min 14, max 22)
+}

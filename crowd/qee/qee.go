@@ -1,0 +1,389 @@
+// Package qee implements the crowdsourcing query execution engine of
+// Section 5.3: it communicates queries to participants' mobile devices
+// and aggregates their answers with a MapReduce-style decomposition —
+// each selected worker processes a map task (answer one question) and
+// the intermediate results are merged by a reduce step.
+//
+// The real deployment pushes tasks through Google Cloud Messaging to
+// Android phones on 2G/3G/WiFi links. Offline, this package simulates
+// the communication fabric with latency profiles calibrated to the
+// measurements of the paper's Figure 6 (trigger 38–55 ms regardless of
+// network; push notification 467/169/184 ms and task communication
+// 423/171/182 ms on 2G/3G/WiFi). Executions are timed on a virtual
+// clock by default, so regenerating the figure takes microseconds; set
+// Options.RealTime to actually sleep the sampled latencies.
+package qee
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/insight-dublin/insight/crowd"
+	"github.com/insight-dublin/insight/geo"
+)
+
+// Network is the connection type of a participant's device.
+type Network int
+
+// Connection types measured in the paper.
+const (
+	TwoG Network = iota
+	ThreeG
+	WiFi
+)
+
+// String returns the conventional network name.
+func (n Network) String() string {
+	switch n {
+	case TwoG:
+		return "2G"
+	case ThreeG:
+		return "3G"
+	case WiFi:
+		return "WiFi"
+	}
+	return fmt.Sprintf("network(%d)", int(n))
+}
+
+// Networks lists all supported connection types.
+var Networks = []Network{TwoG, ThreeG, WiFi}
+
+// LatencyProfile holds the mean latencies of each step of a query
+// execution per network type, plus a relative jitter applied when
+// sampling.
+type LatencyProfile struct {
+	// TriggerMin/TriggerMax bound the task-trigger latency (worker
+	// selection + task assignment inside the engine; no device
+	// communication, hence network-independent).
+	TriggerMin, TriggerMax time.Duration
+	// Push is the mean push-notification latency per network: the
+	// engine sends the notification to the cloud messaging server,
+	// which forwards it to the device.
+	Push map[Network]time.Duration
+	// Comm is the mean task-communication latency per network: the
+	// device retrieves the task and sends the answer back.
+	Comm map[Network]time.Duration
+	// Jitter is the relative standard deviation of the sampled push
+	// and communication latencies (default 0.15).
+	Jitter float64
+}
+
+// PaperProfile is calibrated to the means reported in Figure 6.
+func PaperProfile() LatencyProfile {
+	return LatencyProfile{
+		TriggerMin: 38 * time.Millisecond,
+		TriggerMax: 55 * time.Millisecond,
+		Push: map[Network]time.Duration{
+			TwoG:   467 * time.Millisecond,
+			ThreeG: 169 * time.Millisecond,
+			WiFi:   184 * time.Millisecond,
+		},
+		Comm: map[Network]time.Duration{
+			TwoG:   423 * time.Millisecond,
+			ThreeG: 171 * time.Millisecond,
+			WiFi:   182 * time.Millisecond,
+		},
+		Jitter: 0.15,
+	}
+}
+
+// Query is a crowdsourcing question in the paper's form:
+// query_q = {Question_q, [answer_1, ..., answer_n]}.
+type Query struct {
+	ID       string
+	Question string
+	Answers  []string
+	// Pos is the disagreement location the query is about.
+	Pos geo.Point
+	// Deadline is the real-time response requirement deadline_q;
+	// zero means no deadline.
+	Deadline time.Duration
+}
+
+// Device is a participant's simulated mobile client: its network type
+// and its answering behaviour.
+type Device struct {
+	Participant crowd.Participant
+	Network     Network
+	// Respond produces the participant's answer to a query and the
+	// human think time (opening the task and choosing an answer).
+	// The paper excludes think time from its latency figure; the
+	// engine reports it separately.
+	Respond func(q Query) (label string, think time.Duration)
+}
+
+// StepTiming is the latency decomposition of one worker's map task,
+// matching Figure 6's three measured steps.
+type StepTiming struct {
+	Participant string
+	Network     Network
+	Trigger     time.Duration // select worker + assign task
+	Push        time.Duration // push notification via the cloud messaging hop
+	Comm        time.Duration // task retrieval + answer upload
+	Think       time.Duration // human response time (not part of Figure 6)
+	// Missed reports that the worker's answer arrived after the
+	// query deadline and was excluded from the reduce phase.
+	Missed bool
+}
+
+// Total returns the end-to-end latency of the worker's map task.
+func (s StepTiming) Total() time.Duration { return s.Trigger + s.Push + s.Comm + s.Think }
+
+// Execution is the outcome of one query: the answers collected by the
+// map phase, the label counts produced by the reduce phase, and the
+// per-worker timing decomposition.
+type Execution struct {
+	Query   Query
+	Answers []crowd.Answer
+	// Counts is the reduce output: answers per label.
+	Counts map[string]int
+	// Timings has one entry per queried worker, including those that
+	// missed the deadline.
+	Timings []StepTiming
+}
+
+// Task converts the execution into a crowd.Task for the EM estimator,
+// using the given prior (nil = uniform).
+func (e *Execution) Task(prior []float64) crowd.Task {
+	return crowd.Task{
+		ID:      e.Query.ID,
+		Labels:  e.Query.Answers,
+		Prior:   prior,
+		Answers: e.Answers,
+	}
+}
+
+// Options configures the engine.
+type Options struct {
+	// Profile is the latency model; zero value means PaperProfile.
+	Profile LatencyProfile
+	// Seed drives latency sampling.
+	Seed int64
+	// RealTime makes Execute actually sleep the sampled latencies
+	// (for end-to-end demos); by default time is virtual.
+	RealTime bool
+}
+
+// Engine executes crowdsourcing queries against registered devices.
+// It is safe for concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	devices map[string]Device
+	sensors map[string]sensorDevice
+	profile LatencyProfile
+	rng     *rand.Rand
+	real    bool
+}
+
+// NewEngine builds a query execution engine.
+func NewEngine(opts Options) *Engine {
+	p := opts.Profile
+	if p.Push == nil {
+		p = PaperProfile()
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.15
+	}
+	return &Engine{
+		devices: make(map[string]Device),
+		profile: p,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		real:    opts.RealTime,
+	}
+}
+
+// Connect registers a device, the analogue of the participant
+// connecting to the cloud messaging service and identifying as a map
+// worker.
+func (e *Engine) Connect(d Device) error {
+	if d.Participant.ID == "" {
+		return fmt.Errorf("qee: device with empty participant ID")
+	}
+	if d.Respond == nil {
+		return fmt.Errorf("qee: device %q has no Respond function", d.Participant.ID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.devices[d.Participant.ID] = d
+	return nil
+}
+
+// Disconnect removes a device.
+func (e *Engine) Disconnect(participantID string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.devices, participantID)
+}
+
+// Devices returns the connected participant IDs, sorted.
+func (e *Engine) Devices() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.devices))
+	for id := range e.devices {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EstimateComm returns the expected communication time for a
+// participant from the profile of their current network — the
+// comm_iq estimate of the deadline admission test, which "can be
+// estimated from the communication time of the tasks executed
+// previously in the participant's current location".
+func (e *Engine) EstimateComm(participantID string) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.devices[participantID]
+	if !ok {
+		return 0, false
+	}
+	return e.profile.Push[d.Network] + e.profile.Comm[d.Network], true
+}
+
+// sample draws a jittered latency around the mean.
+func (e *Engine) sample(mean time.Duration) time.Duration {
+	e.mu.Lock()
+	f := 1 + e.rng.NormFloat64()*e.profile.Jitter
+	e.mu.Unlock()
+	if f < 0.2 {
+		f = 0.2
+	}
+	return time.Duration(float64(mean) * f)
+}
+
+func (e *Engine) sampleTrigger() time.Duration {
+	lo, hi := e.profile.TriggerMin, e.profile.TriggerMax
+	if hi <= lo {
+		return lo
+	}
+	e.mu.Lock()
+	d := lo + time.Duration(e.rng.Int63n(int64(hi-lo)))
+	e.mu.Unlock()
+	return d
+}
+
+// Execute runs the query against the selected participants: the map
+// phase dispatches one task per worker (concurrently, as the paper
+// uses MapReduce "to maximize parallelism"), and the reduce phase
+// merges the in-deadline answers into label counts. Workers that are
+// not connected are skipped; workers whose end-to-end time exceeds the
+// deadline are marked Missed and excluded from the reduce output.
+func (e *Engine) Execute(ctx context.Context, q Query, selected []crowd.Participant) (*Execution, error) {
+	if len(q.Answers) < 2 {
+		return nil, fmt.Errorf("qee: query %q needs at least two possible answers", q.ID)
+	}
+	var workers []Device
+	e.mu.Lock()
+	for _, p := range selected {
+		if d, ok := e.devices[p.ID]; ok {
+			workers = append(workers, d)
+		}
+	}
+	e.mu.Unlock()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("qee: no connected workers for query %q", q.ID)
+	}
+
+	type mapResult struct {
+		answer crowd.Answer
+		timing StepTiming
+	}
+	results := make(chan mapResult, len(workers))
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w Device) {
+			defer wg.Done()
+			t := StepTiming{Participant: w.Participant.ID, Network: w.Network}
+			t.Trigger = e.sampleTrigger()
+			t.Push = e.sample(e.profile.Push[w.Network])
+			label, think := w.Respond(q)
+			t.Think = think
+			t.Comm = e.sample(e.profile.Comm[w.Network])
+			if e.real {
+				select {
+				case <-time.After(t.Total()):
+				case <-ctx.Done():
+					return
+				}
+			}
+			if q.Deadline > 0 && t.Total() > q.Deadline {
+				t.Missed = true
+			}
+			results <- mapResult{
+				answer: crowd.Answer{Participant: w.Participant.ID, Label: label},
+				timing: t,
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+
+	exec := &Execution{Query: q, Counts: make(map[string]int)}
+	for r := range results {
+		exec.Timings = append(exec.Timings, r.timing)
+		if r.timing.Missed {
+			continue
+		}
+		exec.Answers = append(exec.Answers, r.answer)
+		exec.Counts[r.answer.Label]++ // reduce step
+	}
+	sort.Slice(exec.Timings, func(i, j int) bool {
+		return exec.Timings[i].Participant < exec.Timings[j].Participant
+	})
+	sort.Slice(exec.Answers, func(i, j int) bool {
+		return exec.Answers[i].Participant < exec.Answers[j].Participant
+	})
+	if ctx.Err() != nil {
+		return exec, ctx.Err()
+	}
+	return exec, nil
+}
+
+// StepAverages aggregates timing decompositions per network, the
+// aggregation behind Figure 6.
+type StepAverages struct {
+	Network Network
+	Count   int
+	Trigger time.Duration
+	Push    time.Duration
+	Comm    time.Duration
+}
+
+// AverageByNetwork averages the step timings of the executions per
+// network type.
+func AverageByNetwork(execs []*Execution) []StepAverages {
+	sums := make(map[Network]*StepAverages)
+	for _, ex := range execs {
+		for _, t := range ex.Timings {
+			s := sums[t.Network]
+			if s == nil {
+				s = &StepAverages{Network: t.Network}
+				sums[t.Network] = s
+			}
+			s.Count++
+			s.Trigger += t.Trigger
+			s.Push += t.Push
+			s.Comm += t.Comm
+		}
+	}
+	var out []StepAverages
+	for _, n := range Networks {
+		if s, ok := sums[n]; ok {
+			out = append(out, StepAverages{
+				Network: n,
+				Count:   s.Count,
+				Trigger: s.Trigger / time.Duration(s.Count),
+				Push:    s.Push / time.Duration(s.Count),
+				Comm:    s.Comm / time.Duration(s.Count),
+			})
+		}
+	}
+	return out
+}

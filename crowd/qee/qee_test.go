@@ -1,0 +1,397 @@
+package qee
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/insight-dublin/insight/crowd"
+	"github.com/insight-dublin/insight/geo"
+)
+
+func fixedResponder(label string) func(Query) (string, time.Duration) {
+	return func(Query) (string, time.Duration) { return label, 0 }
+}
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(Options{Seed: 1})
+	devices := []Device{
+		{Participant: crowd.Participant{ID: "w1"}, Network: WiFi, Respond: fixedResponder("yes")},
+		{Participant: crowd.Participant{ID: "w2"}, Network: ThreeG, Respond: fixedResponder("yes")},
+		{Participant: crowd.Participant{ID: "w3"}, Network: TwoG, Respond: fixedResponder("no")},
+	}
+	for _, d := range devices {
+		if err := e.Connect(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func selected(ids ...string) []crowd.Participant {
+	out := make([]crowd.Participant, len(ids))
+	for i, id := range ids {
+		out[i] = crowd.Participant{ID: id}
+	}
+	return out
+}
+
+var testQuery = Query{
+	ID:       "q1",
+	Question: "Is there a traffic congestion at O'Connell Bridge?",
+	Answers:  []string{"yes", "no"},
+	Pos:      geo.At(53.3472, -6.2592),
+}
+
+func TestConnectValidation(t *testing.T) {
+	e := NewEngine(Options{})
+	if err := e.Connect(Device{}); err == nil {
+		t.Error("empty participant ID must error")
+	}
+	if err := e.Connect(Device{Participant: crowd.Participant{ID: "x"}}); err == nil {
+		t.Error("nil Respond must error")
+	}
+}
+
+func TestDevicesAndDisconnect(t *testing.T) {
+	e := testEngine(t)
+	if got := e.Devices(); len(got) != 3 || got[0] != "w1" {
+		t.Errorf("Devices = %v", got)
+	}
+	e.Disconnect("w2")
+	if got := e.Devices(); len(got) != 2 {
+		t.Errorf("after Disconnect: %v", got)
+	}
+}
+
+func TestExecuteMapReduce(t *testing.T) {
+	e := testEngine(t)
+	exec, err := e.Execute(context.Background(), testQuery, selected("w1", "w2", "w3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Answers) != 3 {
+		t.Fatalf("answers = %v", exec.Answers)
+	}
+	if exec.Counts["yes"] != 2 || exec.Counts["no"] != 1 {
+		t.Errorf("reduce counts = %v", exec.Counts)
+	}
+	if len(exec.Timings) != 3 {
+		t.Fatalf("timings = %v", exec.Timings)
+	}
+	for _, tm := range exec.Timings {
+		if tm.Trigger < 38*time.Millisecond || tm.Trigger > 55*time.Millisecond {
+			t.Errorf("trigger %v out of the paper's 38-55 ms band", tm.Trigger)
+		}
+		if tm.Push <= 0 || tm.Comm <= 0 {
+			t.Errorf("non-positive step latency: %+v", tm)
+		}
+		if tm.Missed {
+			t.Errorf("no deadline set, nothing should be missed: %+v", tm)
+		}
+	}
+}
+
+func TestExecuteSkipsDisconnected(t *testing.T) {
+	e := testEngine(t)
+	exec, err := e.Execute(context.Background(), testQuery, selected("w1", "ghost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Answers) != 1 || exec.Answers[0].Participant != "w1" {
+		t.Errorf("answers = %v", exec.Answers)
+	}
+}
+
+func TestExecuteNoWorkers(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.Execute(context.Background(), testQuery, selected("ghost")); err == nil {
+		t.Error("no connected workers must error")
+	}
+	if _, err := e.Execute(context.Background(), Query{ID: "bad", Answers: []string{"only"}}, selected("w1")); err == nil {
+		t.Error("single-answer query must error")
+	}
+}
+
+func TestExecuteDeadline(t *testing.T) {
+	e := NewEngine(Options{Seed: 3})
+	if err := e.Connect(Device{
+		Participant: crowd.Participant{ID: "slow"},
+		Network:     TwoG,
+		Respond: func(Query) (string, time.Duration) {
+			return "yes", 10 * time.Second // human takes far too long
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Connect(Device{
+		Participant: crowd.Participant{ID: "fast"},
+		Network:     WiFi,
+		Respond:     fixedResponder("yes"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := testQuery
+	q.Deadline = 2 * time.Second
+	exec, err := e.Execute(context.Background(), q, selected("slow", "fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Answers) != 1 || exec.Answers[0].Participant != "fast" {
+		t.Errorf("in-deadline answers = %v", exec.Answers)
+	}
+	missed := 0
+	for _, tm := range exec.Timings {
+		if tm.Missed {
+			missed++
+			if tm.Participant != "slow" {
+				t.Errorf("wrong worker missed: %+v", tm)
+			}
+		}
+	}
+	if missed != 1 {
+		t.Errorf("missed = %d, want 1", missed)
+	}
+	if exec.Counts["yes"] != 1 {
+		t.Errorf("reduce must exclude missed answers: %v", exec.Counts)
+	}
+}
+
+func TestLatencyProfileShape(t *testing.T) {
+	// Averages over many executions must reproduce the Figure 6
+	// decomposition: 2G slowest on push and comm, trigger flat across
+	// networks, end-to-end under a second even on 2G.
+	e := testEngine(t)
+	var execs []*Execution
+	for i := 0; i < 200; i++ {
+		exec, err := e.Execute(context.Background(), testQuery, selected("w1", "w2", "w3"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		execs = append(execs, exec)
+	}
+	avgs := AverageByNetwork(execs)
+	if len(avgs) != 3 {
+		t.Fatalf("AverageByNetwork = %v", avgs)
+	}
+	byNet := make(map[Network]StepAverages)
+	for _, a := range avgs {
+		byNet[a.Network] = a
+	}
+	within := func(got, want time.Duration, tolFrac float64) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return float64(diff) <= float64(want)*tolFrac
+	}
+	if !within(byNet[TwoG].Push, 467*time.Millisecond, 0.10) {
+		t.Errorf("2G push avg = %v, want ≈ 467 ms", byNet[TwoG].Push)
+	}
+	if !within(byNet[ThreeG].Push, 169*time.Millisecond, 0.10) {
+		t.Errorf("3G push avg = %v, want ≈ 169 ms", byNet[ThreeG].Push)
+	}
+	if !within(byNet[WiFi].Comm, 182*time.Millisecond, 0.10) {
+		t.Errorf("WiFi comm avg = %v, want ≈ 182 ms", byNet[WiFi].Comm)
+	}
+	if byNet[TwoG].Push <= byNet[ThreeG].Push || byNet[TwoG].Comm <= byNet[WiFi].Comm {
+		t.Error("2G must be the slowest network")
+	}
+	// Trigger time is network-independent: all within the 38-55 band.
+	for n, a := range byNet {
+		if a.Trigger < 38*time.Millisecond || a.Trigger > 55*time.Millisecond {
+			t.Errorf("%v trigger avg = %v outside band", n, a.Trigger)
+		}
+		endToEnd := a.Trigger + a.Push + a.Comm
+		if endToEnd >= time.Second {
+			t.Errorf("%v end-to-end = %v, paper promises < 1 s", n, endToEnd)
+		}
+	}
+}
+
+func TestEstimateComm(t *testing.T) {
+	e := testEngine(t)
+	d2g, ok := e.EstimateComm("w3")
+	if !ok {
+		t.Fatal("w3 should be connected")
+	}
+	dwifi, _ := e.EstimateComm("w1")
+	if d2g <= dwifi {
+		t.Errorf("2G estimate (%v) must exceed WiFi (%v)", d2g, dwifi)
+	}
+	if _, ok := e.EstimateComm("ghost"); ok {
+		t.Error("unknown participant must report !ok")
+	}
+}
+
+func TestExecutionToTask(t *testing.T) {
+	e := testEngine(t)
+	exec, err := e.Execute(context.Background(), testQuery, selected("w1", "w3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := exec.Task(nil)
+	if task.ID != "q1" || len(task.Labels) != 2 || len(task.Answers) != 2 {
+		t.Errorf("Task = %+v", task)
+	}
+	// Feed it to the estimator end-to-end.
+	est := crowd.NewEstimator(crowd.EstimatorOptions{})
+	v, err := est.Process(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Best != "yes" && v.Best != "no" {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	if TwoG.String() != "2G" || ThreeG.String() != "3G" || WiFi.String() != "WiFi" {
+		t.Error("network names wrong")
+	}
+	if Network(9).String() != "network(9)" {
+		t.Error("unknown network name wrong")
+	}
+}
+
+func TestRealTimeExecution(t *testing.T) {
+	e := NewEngine(Options{Seed: 5, RealTime: true})
+	if err := e.Connect(Device{
+		Participant: crowd.Participant{ID: "w"},
+		Network:     WiFi,
+		Respond:     fixedResponder("yes"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	exec, err := e.Execute(context.Background(), testQuery, selected("w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(exec.Answers) != 1 {
+		t.Fatalf("answers = %v", exec.Answers)
+	}
+	// WiFi trigger+push+comm ≈ 400 ms; require at least half that to
+	// show the engine really slept.
+	if elapsed < 200*time.Millisecond {
+		t.Errorf("real-time execution returned too fast: %v", elapsed)
+	}
+}
+
+func TestRealTimeCancellation(t *testing.T) {
+	e := NewEngine(Options{Seed: 5, RealTime: true})
+	if err := e.Connect(Device{
+		Participant: crowd.Participant{ID: "w"},
+		Network:     TwoG,
+		Respond: func(Query) (string, time.Duration) {
+			return "yes", 5 * time.Second
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := e.Execute(ctx, testQuery, selected("w")); err == nil {
+		t.Error("cancelled execution must report the context error")
+	}
+}
+
+func TestConnectSensorValidation(t *testing.T) {
+	e := NewEngine(Options{})
+	if err := e.ConnectSensor(Device{}, nil); err == nil {
+		t.Error("empty ID must error")
+	}
+	if err := e.ConnectSensor(Device{Participant: crowd.Participant{ID: "x"}}, nil); err == nil {
+		t.Error("nil reader must error")
+	}
+}
+
+func TestExecuteSensorAggregates(t *testing.T) {
+	e := NewEngine(Options{Seed: 9})
+	speeds := map[string]float64{"w1": 12, "w2": 30, "w3": 18}
+	for id, v := range speeds {
+		v := v
+		err := e.ConnectSensor(Device{
+			Participant: crowd.Participant{ID: id},
+			Network:     WiFi,
+		}, func(SensorQuery) (float64, time.Duration) { return v, 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := SensorQuery{ID: "speed@bridge", Metric: "speed-kmh", Pos: geo.At(53.34, -6.26)}
+	agg, err := e.ExecuteSensor(context.Background(), q, selected("w1", "w2", "w3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 3 {
+		t.Fatalf("Count = %d", agg.Count)
+	}
+	if agg.Mean != 20 || agg.Min != 12 || agg.Max != 30 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	if agg.Readings["w2"] != 30 {
+		t.Errorf("Readings = %v", agg.Readings)
+	}
+	if len(agg.Timings) != 3 {
+		t.Errorf("Timings = %v", agg.Timings)
+	}
+}
+
+func TestExecuteSensorDeadline(t *testing.T) {
+	e := NewEngine(Options{Seed: 9})
+	if err := e.ConnectSensor(Device{
+		Participant: crowd.Participant{ID: "slow"}, Network: TwoG,
+	}, func(SensorQuery) (float64, time.Duration) { return 99, 10 * time.Second }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ConnectSensor(Device{
+		Participant: crowd.Participant{ID: "fast"}, Network: WiFi,
+	}, func(SensorQuery) (float64, time.Duration) { return 10, 0 }); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := e.ExecuteSensor(context.Background(), SensorQuery{
+		ID: "q", Metric: "speed", Deadline: 2 * time.Second,
+	}, selected("slow", "fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 1 || agg.Mean != 10 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+}
+
+func TestExecuteSensorErrors(t *testing.T) {
+	e := NewEngine(Options{})
+	if _, err := e.ExecuteSensor(context.Background(), SensorQuery{ID: "q", Metric: "m"}, selected("ghost")); err == nil {
+		t.Error("no sensor workers must error")
+	}
+	if err := e.ConnectSensor(Device{
+		Participant: crowd.Participant{ID: "w"}, Network: WiFi,
+	}, func(SensorQuery) (float64, time.Duration) { return 1, 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecuteSensor(context.Background(), SensorQuery{ID: "q"}, selected("w")); err == nil {
+		t.Error("metric-less query must error")
+	}
+}
+
+func TestSensorCapableDeviceAlsoAnswersQuestions(t *testing.T) {
+	e := NewEngine(Options{Seed: 2})
+	if err := e.ConnectSensor(Device{
+		Participant: crowd.Participant{ID: "dual"},
+		Network:     ThreeG,
+		Respond:     fixedResponder("yes"),
+	}, func(SensorQuery) (float64, time.Duration) { return 3, 0 }); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := e.Execute(context.Background(), testQuery, selected("dual"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Answers) != 1 {
+		t.Errorf("dual device must answer questions too: %v", exec.Answers)
+	}
+}

@@ -1,0 +1,162 @@
+package qee
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/insight-dublin/insight/crowd"
+	"github.com/insight-dublin/insight/geo"
+)
+
+// Beyond multiple-choice questions, the paper notes the MapReduce
+// decomposition pays off for richer tasks: "we could employ the
+// sensors of the smartphones to extract data, such as their current
+// speed or local humidity, as a Map task, and aggregate the
+// intermediate data ... at the Reduce phase" (Section 5.3). SensorQuery
+// implements that: each map worker samples a numeric reading from its
+// device; the reduce phase aggregates the in-deadline readings.
+
+// SensorQuery asks the selected participants' devices for a numeric
+// reading (speed, humidity, noise level, ...).
+type SensorQuery struct {
+	ID string
+	// Metric names what is sampled, e.g. "speed-kmh".
+	Metric string
+	// Pos is the location of interest.
+	Pos geo.Point
+	// Deadline bounds the collection; zero means none.
+	Deadline time.Duration
+}
+
+// SensorReader extends a Device with a numeric sampling capability.
+// Register it with ConnectSensor.
+type SensorReader func(q SensorQuery) (value float64, think time.Duration)
+
+// SensorAggregate is the reduce output of a sensor query.
+type SensorAggregate struct {
+	Query SensorQuery
+	// Readings maps each in-deadline participant to their sample.
+	Readings map[string]float64
+	Count    int
+	Mean     float64
+	Min, Max float64
+	// Timings covers every queried worker, like Execution.Timings.
+	Timings []StepTiming
+}
+
+type sensorDevice struct {
+	device Device
+	read   SensorReader
+}
+
+// ConnectSensor registers a device capable of answering sensor
+// queries. The device's Respond function may be nil if it only serves
+// sensor tasks.
+func (e *Engine) ConnectSensor(d Device, read SensorReader) error {
+	if d.Participant.ID == "" {
+		return fmt.Errorf("qee: device with empty participant ID")
+	}
+	if read == nil {
+		return fmt.Errorf("qee: device %q has no sensor reader", d.Participant.ID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sensors == nil {
+		e.sensors = make(map[string]sensorDevice)
+	}
+	e.sensors[d.Participant.ID] = sensorDevice{device: d, read: read}
+	// Sensor-capable devices are also plain devices when they can
+	// answer questions.
+	if d.Respond != nil {
+		e.devices[d.Participant.ID] = d
+	}
+	return nil
+}
+
+// ExecuteSensor runs a sensor-sampling MapReduce round: one map task
+// per selected participant (sample the metric), one reduce step
+// (aggregate count/mean/min/max over the in-deadline samples).
+func (e *Engine) ExecuteSensor(ctx context.Context, q SensorQuery, selected []crowd.Participant) (*SensorAggregate, error) {
+	if q.Metric == "" {
+		return nil, fmt.Errorf("qee: sensor query %q without metric", q.ID)
+	}
+	var workers []sensorDevice
+	e.mu.Lock()
+	for _, p := range selected {
+		if d, ok := e.sensors[p.ID]; ok {
+			workers = append(workers, d)
+		}
+	}
+	e.mu.Unlock()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("qee: no sensor-capable workers for query %q", q.ID)
+	}
+
+	type mapResult struct {
+		id     string
+		value  float64
+		timing StepTiming
+	}
+	results := make(chan mapResult, len(workers))
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w sensorDevice) {
+			defer wg.Done()
+			t := StepTiming{Participant: w.device.Participant.ID, Network: w.device.Network}
+			t.Trigger = e.sampleTrigger()
+			t.Push = e.sample(e.profile.Push[w.device.Network])
+			value, think := w.read(q)
+			t.Think = think
+			t.Comm = e.sample(e.profile.Comm[w.device.Network])
+			if e.real {
+				select {
+				case <-time.After(t.Total()):
+				case <-ctx.Done():
+					return
+				}
+			}
+			if q.Deadline > 0 && t.Total() > q.Deadline {
+				t.Missed = true
+			}
+			results <- mapResult{id: w.device.Participant.ID, value: value, timing: t}
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+
+	agg := &SensorAggregate{
+		Query:    q,
+		Readings: make(map[string]float64),
+		Min:      math.Inf(1),
+		Max:      math.Inf(-1),
+	}
+	var sum float64
+	for r := range results {
+		agg.Timings = append(agg.Timings, r.timing)
+		if r.timing.Missed {
+			continue
+		}
+		agg.Readings[r.id] = r.value
+		agg.Count++
+		sum += r.value
+		agg.Min = math.Min(agg.Min, r.value)
+		agg.Max = math.Max(agg.Max, r.value)
+	}
+	if agg.Count > 0 {
+		agg.Mean = sum / float64(agg.Count)
+	} else {
+		agg.Min, agg.Max = 0, 0
+	}
+	sort.Slice(agg.Timings, func(i, j int) bool {
+		return agg.Timings[i].Participant < agg.Timings[j].Participant
+	})
+	if ctx.Err() != nil {
+		return agg, ctx.Err()
+	}
+	return agg, nil
+}

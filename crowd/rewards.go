@@ -1,0 +1,108 @@
+package crowd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper notes that "correctly estimating the quality of
+// participants ... is also important for rewarding a participant.
+// Indeed, a participant's quality may be a factor in the computation
+// of the reward he receives for his contribution" (Section 7.2).
+// Ledger implements that accounting: each processed task pays every
+// answering participant in proportion to how much probability the
+// fused posterior assigns to their answer, scaled by a base rate.
+
+// RewardPolicy computes the payment for one answer given the fused
+// verdict. posterior is the probability the verdict assigns to the
+// participant's own answer.
+type RewardPolicy func(posterior float64) float64
+
+// ProportionalReward pays base × P(answer | all answers): confident
+// agreement with the fused outcome earns close to base; answers the
+// crowd overrules earn close to nothing. It never pays negative
+// amounts (penalising volunteers drives them away).
+func ProportionalReward(base float64) RewardPolicy {
+	return func(posterior float64) float64 {
+		if posterior < 0 {
+			return 0
+		}
+		return base * posterior
+	}
+}
+
+// ThresholdReward pays base for answers the fused posterior backs with
+// at least minPosterior, nothing otherwise (a simpler scheme platforms
+// like Mechanical Turk use: accept or reject).
+func ThresholdReward(base, minPosterior float64) RewardPolicy {
+	return func(posterior float64) float64 {
+		if posterior >= minPosterior {
+			return base
+		}
+		return 0
+	}
+}
+
+// Ledger accumulates rewards across tasks.
+type Ledger struct {
+	policy RewardPolicy
+	earned map[string]float64
+	tasks  map[string]int
+}
+
+// NewLedger builds a ledger with the given policy.
+func NewLedger(policy RewardPolicy) (*Ledger, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("crowd: nil reward policy")
+	}
+	return &Ledger{
+		policy: policy,
+		earned: make(map[string]float64),
+		tasks:  make(map[string]int),
+	}, nil
+}
+
+// Credit applies the policy to every answer of a fused task. Call it
+// with the verdict returned by Estimator.Process for the same task.
+func (l *Ledger) Credit(task Task, verdict Verdict) error {
+	if len(verdict.Labels) != len(verdict.Posterior) {
+		return fmt.Errorf("crowd: malformed verdict for task %q", task.ID)
+	}
+	for _, a := range task.Answers {
+		idx := labelIndex(verdict.Labels, a.Label)
+		if idx < 0 {
+			return fmt.Errorf("crowd: answer %q of task %q not among verdict labels", a.Label, task.ID)
+		}
+		l.earned[a.Participant] += l.policy(verdict.Posterior[idx])
+		l.tasks[a.Participant]++
+	}
+	return nil
+}
+
+// Earned returns a participant's accumulated reward.
+func (l *Ledger) Earned(participant string) float64 { return l.earned[participant] }
+
+// Tasks returns how many tasks a participant was paid for.
+func (l *Ledger) Tasks(participant string) int { return l.tasks[participant] }
+
+// Balance is one row of the ledger.
+type Balance struct {
+	Participant string
+	Earned      float64
+	Tasks       int
+}
+
+// Balances returns all rows, highest earners first (ties by ID).
+func (l *Ledger) Balances() []Balance {
+	out := make([]Balance, 0, len(l.earned))
+	for id, e := range l.earned {
+		out = append(out, Balance{Participant: id, Earned: e, Tasks: l.tasks[id]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Earned != out[j].Earned {
+			return out[i].Earned > out[j].Earned
+		}
+		return out[i].Participant < out[j].Participant
+	})
+	return out
+}

@@ -1,0 +1,189 @@
+package crowd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/insight-dublin/insight/geo"
+)
+
+// Participant is a registered crowdsourcing volunteer: "each
+// participant i ∈ U registers with the query execution engine using a
+// mobile device" (Section 5.3).
+type Participant struct {
+	ID  string
+	Pos geo.Point
+	// Online reports whether the participant is currently reachable
+	// (connected to the push notification service).
+	Online bool
+	// ComputeTime is the expected time the participant needs to
+	// process a task, estimated "from the past executed tasks".
+	ComputeTime time.Duration
+}
+
+// Roster is the registry of participants. It is safe for concurrent
+// use: the query execution engine reads it while location updates
+// stream in.
+type Roster struct {
+	mu           sync.RWMutex
+	participants map[string]Participant
+}
+
+// NewRoster returns an empty roster.
+func NewRoster() *Roster {
+	return &Roster{participants: make(map[string]Participant)}
+}
+
+// Register adds or replaces a participant.
+func (r *Roster) Register(p Participant) error {
+	if p.ID == "" {
+		return fmt.Errorf("crowd: participant with empty ID")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.participants[p.ID] = p
+	return nil
+}
+
+// SetLocation updates a participant's position.
+func (r *Roster) SetLocation(id string, pos geo.Point) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.participants[id]
+	if !ok {
+		return fmt.Errorf("crowd: unknown participant %q", id)
+	}
+	p.Pos = pos
+	r.participants[id] = p
+	return nil
+}
+
+// SetOnline updates a participant's connectivity.
+func (r *Roster) SetOnline(id string, online bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.participants[id]
+	if !ok {
+		return fmt.Errorf("crowd: unknown participant %q", id)
+	}
+	p.Online = online
+	r.participants[id] = p
+	return nil
+}
+
+// Get returns a participant by ID.
+func (r *Roster) Get(id string) (Participant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.participants[id]
+	return p, ok
+}
+
+// Online returns the currently reachable participants, sorted by ID
+// for determinism.
+func (r *Roster) Online() []Participant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Participant, 0, len(r.participants))
+	for _, p := range r.participants {
+		if p.Online {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered participants.
+func (r *Roster) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.participants)
+}
+
+// Selection is a worker-selection policy: given the online candidates
+// and the task location it returns the participants to query. The
+// paper selects "one or more humans ... close to the sensors that
+// disagree", possibly filtered by reliability or deadline
+// feasibility.
+type Selection func(candidates []Participant, taskPos geo.Point) []Participant
+
+// SelectAll queries every online participant (the policy of the
+// estimation experiment in Section 7.2: "All participants were
+// queried about each sensor disagreement").
+func SelectAll(candidates []Participant, _ geo.Point) []Participant {
+	return candidates
+}
+
+// SelectNearest returns a policy that picks the k participants closest
+// to the disagreement location, optionally restricted to maxMeters
+// (0 = no distance bound).
+func SelectNearest(k int, maxMeters float64) Selection {
+	return func(candidates []Participant, taskPos geo.Point) []Participant {
+		type scored struct {
+			p Participant
+			d float64
+		}
+		eligible := make([]scored, 0, len(candidates))
+		for _, p := range candidates {
+			d := geo.Distance(p.Pos, taskPos)
+			if maxMeters > 0 && d > maxMeters {
+				continue
+			}
+			eligible = append(eligible, scored{p, d})
+		}
+		sort.Slice(eligible, func(i, j int) bool {
+			if eligible[i].d != eligible[j].d {
+				return eligible[i].d < eligible[j].d
+			}
+			return eligible[i].p.ID < eligible[j].p.ID
+		})
+		if k > 0 && len(eligible) > k {
+			eligible = eligible[:k]
+		}
+		out := make([]Participant, len(eligible))
+		for i, s := range eligible {
+			out[i] = s.p
+		}
+		return out
+	}
+}
+
+// SelectMostReliable returns a policy that picks the k participants
+// with the lowest estimated error probability according to the online
+// EM estimator.
+func SelectMostReliable(k int, est *Estimator) Selection {
+	return func(candidates []Participant, _ geo.Point) []Participant {
+		out := append([]Participant(nil), candidates...)
+		sort.Slice(out, func(i, j int) bool {
+			pi, pj := est.ErrorProb(out[i].ID), est.ErrorProb(out[j].ID)
+			if pi != pj {
+				return pi < pj
+			}
+			return out[i].ID < out[j].ID
+		})
+		if k > 0 && len(out) > k {
+			out = out[:k]
+		}
+		return out
+	}
+}
+
+// DeadlineFeasible wraps a policy with the real-time admission test of
+// Section 5.3: a participant is queried only if
+// comm_iq + comp_iq < deadline_q, with the communication time
+// estimated by the supplied function (typically from the query
+// execution engine's per-network history).
+func DeadlineFeasible(inner Selection, commEstimate func(Participant) time.Duration, deadline time.Duration) Selection {
+	return func(candidates []Participant, taskPos geo.Point) []Participant {
+		feasible := make([]Participant, 0, len(candidates))
+		for _, p := range candidates {
+			if commEstimate(p)+p.ComputeTime < deadline {
+				feasible = append(feasible, p)
+			}
+		}
+		return inner(feasible, taskPos)
+	}
+}

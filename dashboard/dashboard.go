@@ -1,0 +1,199 @@
+// Package dashboard is the operator-facing output of the system: "an
+// important requirement is to have a simple, intuitive interactive map
+// to present all traffic information and alerts" (Section 2 of Artikis
+// et al., EDBT 2014). It serves, over HTTP:
+//
+//	/            an auto-refreshing HTML page: the city map with the
+//	             latest alerts, crowd resolutions and statistics
+//	/map.svg     the live city map — GP flow shading, SCATS sensor
+//	             dots, red rings on congested intersections
+//	/api/report  the latest operator report as JSON
+//	/api/flows   the latest flow estimates as JSON
+//
+// The server holds only the most recent state; feed it from a
+// System.Run callback (see cmd/trafficmon -http).
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sync"
+
+	insight "github.com/insight-dublin/insight"
+	"github.com/insight-dublin/insight/citygraph"
+	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// Server renders the operator dashboard. Create with New, feed with
+// Update/UpdateFlows, mount with Handler.
+type Server struct {
+	city        *dublin.City
+	registry    *traffic.Registry
+	interVertex map[string]int // intersection ID -> street-graph vertex
+
+	mu     sync.RWMutex
+	report *insight.Report
+	flows  *insight.FlowEstimate
+}
+
+// New builds a dashboard over the monitored city.
+func New(city *dublin.City, registry *traffic.Registry) (*Server, error) {
+	if city == nil || registry == nil {
+		return nil, fmt.Errorf("dashboard: city and registry are required")
+	}
+	s := &Server{
+		city:        city,
+		registry:    registry,
+		interVertex: make(map[string]int),
+	}
+	for i := range city.Sensors() {
+		sensor := &city.Sensors()[i]
+		s.interVertex[sensor.Intersection] = sensor.Vertex
+	}
+	return s, nil
+}
+
+// Update publishes the latest operator report.
+func (s *Server) Update(r *insight.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.report = r
+}
+
+// UpdateFlows publishes the latest traffic-model estimates.
+func (s *Server) UpdateFlows(f *insight.FlowEstimate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flows = f
+}
+
+// snapshot returns the current state under the read lock.
+func (s *Server) snapshot() (*insight.Report, *insight.FlowEstimate) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.report, s.flows
+}
+
+// Handler returns the HTTP handler serving the dashboard.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.serveIndex)
+	mux.HandleFunc("GET /map.svg", s.serveMap)
+	mux.HandleFunc("GET /api/report", s.serveReport)
+	mux.HandleFunc("GET /api/flows", s.serveFlows)
+	return mux
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>INSIGHT Dublin — traffic monitor</title>
+<style>
+  body { font-family: sans-serif; margin: 1.5em; }
+  table { border-collapse: collapse; }
+  td, th { border: 1px solid #ccc; padding: 2px 8px; font-size: 13px; text-align: left; }
+  .kind { font-weight: bold; }
+  img { border: 1px solid #ccc; max-width: 100%; }
+</style>
+</head>
+<body>
+<h1>INSIGHT Dublin — traffic monitor</h1>
+{{if .Report}}
+<p>query time <b>{{.Report.Q}}</b> — {{.Report.FedEvents}} SDEs,
+{{len .Report.CongestedIntersections}} congested intersections,
+{{len .Report.Disagreements}} source disagreements,
+{{len .Report.NoisyBuses}} unreliable buses,
+recognition {{.Report.Stats.Elapsed}}</p>
+<img src="/map.svg" alt="city map">
+<h2>Alerts</h2>
+<table>
+<tr><th>time</th><th>kind</th><th>key</th><th>detail</th></tr>
+{{range .Report.Alerts}}
+<tr><td>{{.Time}}</td><td class="kind">{{.Kind}}</td><td>{{.Key}}</td><td>{{.Text}}</td></tr>
+{{else}}
+<tr><td colspan="4">none</td></tr>
+{{end}}
+</table>
+<h2>Crowd resolutions</h2>
+<table>
+<tr><th>intersection</th><th>verdict</th><th>confidence</th><th>participants</th></tr>
+{{range .Report.CrowdRounds}}
+<tr><td>{{.Intersection}}</td><td>{{.Verdict.Best}}</td><td>{{printf "%.2f" .Verdict.Confidence}}</td><td>{{.Queried}}</td></tr>
+{{else}}
+<tr><td colspan="4">none</td></tr>
+{{end}}
+</table>
+{{else}}
+<p>waiting for the first report…</p>
+{{end}}
+</body>
+</html>`))
+
+func (s *Server) serveIndex(w http.ResponseWriter, _ *http.Request) {
+	report, _ := s.snapshot()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, struct{ Report *insight.Report }{report}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) serveMap(w http.ResponseWriter, _ *http.Request) {
+	report, flows := s.snapshot()
+	g := s.city.Graph()
+
+	opts := citygraph.RenderOptions{Width: 900}
+	if flows != nil && len(flows.Values) == g.NumVertices() {
+		opts.Values = flows.Values
+		opts.Sensors = flows.ObservedVertices
+	}
+	if report != nil {
+		opts.Title = fmt.Sprintf("query time %d — %d alerts", int64(report.Q), len(report.Alerts))
+		seen := make(map[int]bool)
+		for _, id := range report.CongestedIntersections {
+			if v, ok := s.intersectionVertex(id); ok && !seen[v] {
+				seen[v] = true
+				opts.Highlights = append(opts.Highlights, v)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := g.RenderSVG(w, opts); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// intersectionVertex maps an intersection ID to its street-graph
+// vertex.
+func (s *Server) intersectionVertex(id string) (int, bool) {
+	v, ok := s.interVertex[id]
+	return v, ok
+}
+
+func (s *Server) serveReport(w http.ResponseWriter, _ *http.Request) {
+	report, _ := s.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if report == nil {
+		http.Error(w, `{"error": "no report yet"}`, http.StatusServiceUnavailable)
+		return
+	}
+	if err := json.NewEncoder(w).Encode(report); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) serveFlows(w http.ResponseWriter, _ *http.Request) {
+	_, flows := s.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if flows == nil {
+		http.Error(w, `{"error": "no flow estimates yet"}`, http.StatusServiceUnavailable)
+		return
+	}
+	if err := json.NewEncoder(w).Encode(flows); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,170 @@
+package dublin
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// CSV codecs in the spirit of the dublinked.ie exports, so generated
+// streams can be persisted, inspected and replayed. One row per SDE;
+// the extra "arrival" column preserves mediator delays for faithful
+// replay.
+
+var busHeader = []string{"timestamp", "bus", "line", "operator", "delay", "lon", "lat", "direction", "congestion", "arrival"}
+var scatsHeader = []string{"timestamp", "sensor", "intersection", "approach", "density", "flow", "lon", "lat", "arrival"}
+
+// WriteBusCSV writes the bus SDEs among sdes to w.
+func WriteBusCSV(w io.Writer, sdes []SDE) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(busHeader); err != nil {
+		return err
+	}
+	for _, s := range sdes {
+		if s.Event.Type != traffic.MoveType {
+			continue
+		}
+		e := s.Event
+		line, _ := e.Str("line")
+		op, _ := e.Str("operator")
+		delay, _ := e.Int("delay")
+		lon, _ := e.Float("lon")
+		lat, _ := e.Float("lat")
+		dir, _ := e.Int("direction")
+		cong, _ := e.Bool("congested")
+		congStr := "0"
+		if cong {
+			congStr = "1"
+		}
+		rec := []string{
+			strconv.FormatInt(int64(e.Time), 10),
+			e.Key, line, op,
+			strconv.FormatInt(delay, 10),
+			strconv.FormatFloat(lon, 'f', 6, 64),
+			strconv.FormatFloat(lat, 'f', 6, 64),
+			strconv.FormatInt(dir, 10),
+			congStr,
+			strconv.FormatInt(int64(s.Arrival), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScatsCSV writes the SCATS SDEs among sdes to w.
+func WriteScatsCSV(w io.Writer, sdes []SDE) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(scatsHeader); err != nil {
+		return err
+	}
+	for _, s := range sdes {
+		if s.Event.Type != traffic.TrafficType {
+			continue
+		}
+		e := s.Event
+		inter, _ := e.Str("intersection")
+		app, _ := e.Str("approach")
+		density, _ := e.Float("density")
+		flow, _ := e.Float("flow")
+		lon, _ := e.Float("lon")
+		lat, _ := e.Float("lat")
+		rec := []string{
+			strconv.FormatInt(int64(e.Time), 10),
+			e.Key, inter, app,
+			strconv.FormatFloat(density, 'f', 4, 64),
+			strconv.FormatFloat(flow, 'f', 2, 64),
+			strconv.FormatFloat(lon, 'f', 6, 64),
+			strconv.FormatFloat(lat, 'f', 6, 64),
+			strconv.FormatInt(int64(s.Arrival), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadBusCSV parses a bus SDE file written by WriteBusCSV.
+func ReadBusCSV(r io.Reader) ([]SDE, error) {
+	rows, err := readCSV(r, busHeader)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SDE, 0, len(rows))
+	for i, rec := range rows {
+		t, err1 := strconv.ParseInt(rec[0], 10, 64)
+		delay, err2 := strconv.ParseInt(rec[4], 10, 64)
+		lon, err3 := strconv.ParseFloat(rec[5], 64)
+		lat, err4 := strconv.ParseFloat(rec[6], 64)
+		dir, err5 := strconv.ParseInt(rec[7], 10, 64)
+		arrival, err6 := strconv.ParseInt(rec[9], 10, 64)
+		if err := firstErr(err1, err2, err3, err4, err5, err6); err != nil {
+			return nil, fmt.Errorf("dublin: bus CSV row %d: %w", i+2, err)
+		}
+		ev := traffic.Move(rtec.Time(t), rec[1], rec[2], rec[3], delay,
+			geo.LonLat(lon, lat), int(dir), rec[8] == "1")
+		out = append(out, SDE{Event: ev, Arrival: rtec.Time(arrival)})
+	}
+	return out, nil
+}
+
+// ReadScatsCSV parses a SCATS SDE file written by WriteScatsCSV.
+func ReadScatsCSV(r io.Reader) ([]SDE, error) {
+	rows, err := readCSV(r, scatsHeader)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SDE, 0, len(rows))
+	for i, rec := range rows {
+		t, err1 := strconv.ParseInt(rec[0], 10, 64)
+		density, err2 := strconv.ParseFloat(rec[4], 64)
+		flow, err3 := strconv.ParseFloat(rec[5], 64)
+		lon, err4 := strconv.ParseFloat(rec[6], 64)
+		lat, err5 := strconv.ParseFloat(rec[7], 64)
+		arrival, err6 := strconv.ParseInt(rec[8], 10, 64)
+		if err := firstErr(err1, err2, err3, err4, err5, err6); err != nil {
+			return nil, fmt.Errorf("dublin: SCATS CSV row %d: %w", i+2, err)
+		}
+		ev := traffic.Traffic(rtec.Time(t), rec[1], rec[2], rec[3], density, flow)
+		ev.Attrs["lon"] = lon
+		ev.Attrs["lat"] = lat
+		out = append(out, SDE{Event: ev, Arrival: rtec.Time(arrival)})
+	}
+	return out, nil
+}
+
+func readCSV(r io.Reader, wantHeader []string) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(wantHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dublin: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dublin: empty CSV (missing header)")
+	}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			return nil, fmt.Errorf("dublin: CSV header mismatch: got %q, want %q", rows[0][i], h)
+		}
+	}
+	return rows[1:], nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package dublin
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// SDE is one simple derived event of the synthetic stream, with its
+// mediator-assigned arrival time. Occurrence (Event.Time) and Arrival
+// differ because "sensor data may go through multiple mediators en
+// route" (Section 1); the RTEC window/step machinery exists to absorb
+// exactly this gap.
+type SDE struct {
+	Event   rtec.Event
+	Arrival rtec.Time
+}
+
+// Generator streams the city's SDEs over a time range in occurrence
+// order. It is deterministic for a given city and range.
+type Generator struct {
+	city  *City
+	until rtec.Time
+	queue emitterHeap
+	rng   *rand.Rand
+
+	// per-bus delay state for the delay attribute
+	busDelay []float64
+}
+
+type emitter struct {
+	next  rtec.Time
+	kind  int // 0 = bus, 1 = sensor
+	index int
+}
+
+type emitterHeap []emitter
+
+func (h emitterHeap) Len() int           { return len(h) }
+func (h emitterHeap) Less(i, j int) bool { return h[i].next < h[j].next }
+func (h emitterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *emitterHeap) Push(x any)        { *h = append(*h, x.(emitter)) }
+func (h *emitterHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Stream creates a generator for SDEs occurring in [from, until).
+func (c *City) Stream(from, until rtec.Time) *Generator {
+	g := &Generator{
+		city:     c,
+		until:    until,
+		rng:      rand.New(rand.NewSource(c.cfg.Seed + 7)),
+		busDelay: make([]float64, len(c.buses)),
+	}
+	// Stagger first emissions deterministically.
+	for i := range c.buses {
+		period := int64(c.cfg.BusPeriodMax)
+		g.queue = append(g.queue, emitter{
+			next:  from + rtec.Time(g.rng.Int63n(period)),
+			kind:  0,
+			index: i,
+		})
+	}
+	for i := range c.sensors {
+		g.queue = append(g.queue, emitter{
+			next:  from + rtec.Time(g.rng.Int63n(int64(c.cfg.ScatsPeriod))),
+			kind:  1,
+			index: i,
+		})
+	}
+	heap.Init(&g.queue)
+	return g
+}
+
+// Next returns the next SDE in occurrence order. Dropped events
+// (mediator losses) are skipped transparently. ok is false when the
+// range is exhausted.
+func (g *Generator) Next() (SDE, bool) {
+	for {
+		if g.queue.Len() == 0 {
+			return SDE{}, false
+		}
+		e := g.queue[0]
+		if e.next >= g.until {
+			return SDE{}, false
+		}
+		var ev rtec.Event
+		if e.kind == 0 {
+			ev = g.busEvent(e.index, e.next)
+			period := g.city.cfg.BusPeriodMin +
+				rtec.Time(g.rng.Int63n(int64(g.city.cfg.BusPeriodMax-g.city.cfg.BusPeriodMin)+1))
+			g.queue[0].next = e.next + period
+		} else {
+			ev = g.sensorEvent(e.index, e.next)
+			g.queue[0].next = e.next + g.city.cfg.ScatsPeriod
+		}
+		heap.Fix(&g.queue, 0)
+
+		// Mediator: drop or delay.
+		if g.rng.Float64() < g.city.cfg.DropProb {
+			continue
+		}
+		delay := rtec.Time(0)
+		if g.city.cfg.MaxDelay > 0 {
+			delay = rtec.Time(g.rng.Int63n(int64(g.city.cfg.MaxDelay) + 1))
+		}
+		return SDE{Event: ev, Arrival: e.next + delay}, true
+	}
+}
+
+// busEvent synthesizes one move SDE: position along the route, the
+// schedule delay (which grows inside congested areas and recovers
+// outside, driving the delayIncrease CE), and the congestion flag
+// (inverted 80% of the time for noisy buses).
+func (g *Generator) busEvent(i int, t rtec.Time) rtec.Event {
+	b := &g.city.buses[i]
+	pos := g.city.BusPosition(b, t)
+	truth := g.city.IsCongested(pos, t)
+
+	// Delay dynamics: congestion adds up to ~8 s of schedule delay
+	// per emission period; free flow recovers ~2 s.
+	if truth {
+		g.busDelay[i] += 4 + g.rng.Float64()*4
+	} else if g.busDelay[i] > 0 {
+		g.busDelay[i] -= 2 * g.rng.Float64()
+		if g.busDelay[i] < 0 {
+			g.busDelay[i] = 0
+		}
+	}
+
+	report := truth
+	if b.Noisy && g.rng.Float64() < 0.8 {
+		report = !truth
+	}
+	return traffic.Move(t, b.ID, b.Line, b.Operator, int64(g.busDelay[i]), pos,
+		g.city.busDirection(b, t), report)
+}
+
+// sensorEvent synthesizes one traffic SDE with measurement noise. The
+// event carries the intersection coordinates as extra attributes so
+// the stream can be partitioned geographically.
+func (g *Generator) sensorEvent(i int, t rtec.Time) rtec.Event {
+	s := &g.city.sensors[i]
+	density, flow := g.city.SensorReading(s, t)
+	density += g.rng.NormFloat64() * 0.02
+	flow += g.rng.NormFloat64() * 40
+	if density < 0 {
+		density = 0
+	}
+	if density > 1 {
+		density = 1
+	}
+	if flow < 0 {
+		flow = 0
+	}
+	ev := traffic.Traffic(t, s.ID, s.Intersection, s.Approach, density, flow)
+	ev.Attrs["lon"] = s.Pos.Lon
+	ev.Attrs["lat"] = s.Pos.Lat
+	return ev
+}
+
+// Collect materializes the SDEs of [from, until), sorted by arrival
+// time — the order a live system would receive them in. Suitable for
+// spans up to a few hours; use Stream for month-scale runs.
+func (c *City) Collect(from, until rtec.Time) []SDE {
+	var out []SDE
+	g := c.Stream(from, until)
+	for {
+		sde, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, sde)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out
+}

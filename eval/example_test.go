@@ -1,0 +1,30 @@
+package eval_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/insight-dublin/insight/eval"
+	"github.com/insight-dublin/insight/interval"
+)
+
+// Scoring recognised congestion against ground truth: the recognised
+// interval lags the true one, producing both misses and false alarms.
+func Example() {
+	timeline := eval.NewTimeline()
+	// Two overlapping window views of the same fluent; Add unions them.
+	timeline.Add("int0001", interval.List{{Start: 120, End: 300}})
+	timeline.Add("int0001", interval.List{{Start: 250, End: 420}})
+
+	truth := func(key string, t interval.Time) bool {
+		return key == "int0001" && t >= 100 && t < 400
+	}
+	conf, err := eval.Score([]string{"int0001"}, timeline.Get, truth,
+		interval.Span{Start: 0, End: 600}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(conf)
+	// Output:
+	// precision 0.933, recall 0.933, F1 0.933, accuracy 0.933 (60 samples)
+}

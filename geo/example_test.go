@@ -1,0 +1,31 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"github.com/insight-dublin/insight/geo"
+)
+
+// The close/4 predicate of the paper's CE definitions: is a bus near
+// enough to a SCATS intersection for its congestion report to count?
+func ExampleClose() {
+	intersection := geo.At(53.3498, -6.2603) // the Spire
+	bus := geo.At(53.3501, -6.2610)
+
+	fmt.Printf("distance: %.0f m\n", geo.Distance(bus, intersection))
+	fmt.Println("close at 100 m:", geo.Close(bus, intersection, 100))
+	fmt.Println("close at 10 m:", geo.Close(bus, intersection, 10))
+	// Output:
+	// distance: 57 m
+	// close at 100 m: true
+	// close at 10 m: false
+}
+
+// The four Dublin areas CE recognition is distributed over.
+func ExampleRegionOf() {
+	fmt.Println(geo.RegionOf(geo.Dublin.Center()))
+	fmt.Println(geo.RegionOf(geo.At(53.405, -6.25)))
+	// Output:
+	// central
+	// north
+}

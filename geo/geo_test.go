@@ -1,0 +1,192 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64 // relative tolerance
+	}{
+		{"same point", At(53.35, -6.26), At(53.35, -6.26), 0, 0},
+		// O'Connell Bridge to Heuston Station, Dublin: ~2.6 km.
+		{"dublin cross town", At(53.3472, -6.2592), At(53.3464, -6.2941), 2320, 0.05},
+		// One degree of latitude is ~111.2 km everywhere.
+		{"one degree lat", At(53, -6), At(54, -6), 111195, 0.01},
+		// Equatorial degree of longitude is ~111.3 km.
+		{"one degree lon at equator", At(0, 0), At(0, 1), 111195, 0.01},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Distance(c.a, c.b)
+			if c.want == 0 {
+				if got != 0 {
+					t.Errorf("Distance = %f, want 0", got)
+				}
+				return
+			}
+			if rel := math.Abs(got-c.want) / c.want; rel > c.tol {
+				t.Errorf("Distance = %.0f m, want %.0f m (±%.0f%%)", got, c.want, c.tol*100)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() (Point, Point) {
+		return At(r.Float64()*180-90, r.Float64()*360-180),
+			At(r.Float64()*180-90, r.Float64()*360-180)
+	}
+	for i := 0; i < 100; i++ {
+		a, b := f()
+		d1, d2 := Distance(a, b), Distance(b, a)
+		if math.Abs(d1-d2) > 1e-6 {
+			t.Fatalf("Distance not symmetric: %v vs %v for %v, %v", d1, d2, a, b)
+		}
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	gen := func(r *rand.Rand) Point {
+		// Stay away from the poles where the haversine formula's
+		// floating point noise dominates.
+		return At(r.Float64()*120-60, r.Float64()*360-180)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	intersection := At(53.3498, -6.2603) // the Spire
+	busNearby := At(53.3501, -6.2610)    // ~55 m away
+	busFar := At(53.3384, -6.2488)       // ~1.5 km away
+
+	if !Close(intersection, busNearby, 100) {
+		t.Error("bus 55 m away should be close at 100 m threshold")
+	}
+	if Close(intersection, busNearby, 10) {
+		t.Error("bus 55 m away should not be close at 10 m threshold")
+	}
+	if Close(intersection, busFar, 100) {
+		t.Error("bus 1.5 km away should not be close at 100 m threshold")
+	}
+	if !Close(intersection, intersection, 0) {
+		t.Error("a point is close to itself at any threshold")
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{At(53.35, -6.26), true},
+		{At(90, 180), true},
+		{At(-90, -180), true},
+		{At(91, 0), false},
+		{At(0, 181), false},
+		{At(math.NaN(), 0), false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("%v.Valid() = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLonLatOrder(t *testing.T) {
+	p := LonLat(-6.26, 53.35)
+	if p.Lat != 53.35 || p.Lon != -6.26 {
+		t.Errorf("LonLat mixed up the order: %+v", p)
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := Dublin
+	if !b.Contains(At(53.35, -6.26)) {
+		t.Error("city center should be inside the Dublin box")
+	}
+	if b.Contains(At(52.0, -6.26)) {
+		t.Error("Wexford is not in Dublin")
+	}
+	if !b.Contains(b.Center()) {
+		t.Error("box must contain its own center")
+	}
+	if !b.Contains(At(b.MinLat, b.MinLon)) || !b.Contains(At(b.MaxLat, b.MaxLon)) {
+		t.Error("box bounds are inclusive")
+	}
+}
+
+func TestBoxExpand(t *testing.T) {
+	b := Box{MinLat: 1, MinLon: 2, MaxLat: 3, MaxLon: 4}.Expand(0.5, 1)
+	want := Box{MinLat: 0.5, MinLon: 1, MaxLat: 3.5, MaxLon: 5}
+	if b != want {
+		t.Errorf("Expand = %+v, want %+v", b, want)
+	}
+}
+
+func TestRegionOfPartition(t *testing.T) {
+	c := Dublin.Center()
+	cases := []struct {
+		name string
+		p    Point
+		want Region
+	}{
+		{"center", c, Central},
+		{"north", At(Dublin.MaxLat, c.Lon), North},
+		{"south", At(Dublin.MinLat, c.Lon), South},
+		{"west", At(c.Lat, Dublin.MinLon), West},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			if got := RegionOf(cse.p); got != cse.want {
+				t.Errorf("RegionOf(%v) = %v, want %v", cse.p, got, cse.want)
+			}
+		})
+	}
+}
+
+// Every point in the Dublin window must belong to exactly one region,
+// and all four regions must be non-empty over a sampling grid.
+func TestRegionOfCoversWindow(t *testing.T) {
+	counts := make(map[Region]int)
+	for lat := Dublin.MinLat; lat <= Dublin.MaxLat; lat += 0.005 {
+		for lon := Dublin.MinLon; lon <= Dublin.MaxLon; lon += 0.005 {
+			r := RegionOf(At(lat, lon))
+			if r < 0 || r >= NumRegions {
+				t.Fatalf("RegionOf returned out-of-range region %v", r)
+			}
+			counts[r]++
+		}
+	}
+	for r := Central; r < NumRegions; r++ {
+		if counts[r] == 0 {
+			t.Errorf("region %v is empty over the Dublin window", r)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	names := map[Region]string{Central: "central", North: "north", West: "west", South: "south"}
+	for r, want := range names {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+	if got := Region(99).String(); got != "region(99)" {
+		t.Errorf("unknown region String() = %q", got)
+	}
+}

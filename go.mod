@@ -1,0 +1,3 @@
+module github.com/insight-dublin/insight
+
+go 1.22

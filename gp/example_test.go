@@ -1,0 +1,45 @@
+package gp_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/insight-dublin/insight/citygraph"
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/gp"
+)
+
+// Estimating traffic flow at a junction without sensors from its
+// neighbours, with the regularized Laplacian kernel of Section 6.
+func Example() {
+	// A five-junction avenue: 0 — 1 — 2 — 3 — 4.
+	g := citygraph.NewGraph()
+	for i := 0; i < 5; i++ {
+		g.AddVertex(geo.At(53.34+float64(i)*0.002, -6.26))
+	}
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+
+	// K = [β(L + I/α²)]⁻¹ with α = 3, β = 0.5.
+	kernel, err := gp.RegularizedLaplacian(g, 3, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sensors at both ends; junction 2 is unobserved.
+	reg, err := gp.Fit(kernel, []gp.Observation{
+		{Vertex: 0, Value: 1200}, // free flow
+		{Vertex: 4, Value: 300},  // congested
+	}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, _, err := reg.Predict([]int{2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow at the unobserved middle junction: %.0f veh/h\n", mean[0])
+	// Output:
+	// flow at the unobserved middle junction: 750 veh/h
+}

@@ -1,0 +1,406 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/insight-dublin/insight/citygraph"
+	"github.com/insight-dublin/insight/geo"
+)
+
+// pathGraph builds a simple path 0-1-2-...-(n-1).
+func pathGraph(n int) *citygraph.Graph {
+	g := citygraph.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(geo.At(53.3+float64(i)*0.001, -6.3))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestRegularizedLaplacianValidation(t *testing.T) {
+	g := pathGraph(3)
+	if _, err := RegularizedLaplacian(nil, 1, 1); err == nil {
+		t.Error("nil graph must error")
+	}
+	if _, err := RegularizedLaplacian(citygraph.NewGraph(), 1, 1); err == nil {
+		t.Error("empty graph must error")
+	}
+	if _, err := RegularizedLaplacian(g, 0, 1); err == nil {
+		t.Error("alpha = 0 must error")
+	}
+	if _, err := RegularizedLaplacian(g, 1, -1); err == nil {
+		t.Error("beta <= 0 must error")
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	g := pathGraph(5)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d", k.NumVertices())
+	}
+	// Symmetric, positive diagonal.
+	for i := 0; i < 5; i++ {
+		if k.At(i, i) <= 0 {
+			t.Errorf("K[%d,%d] = %v, want > 0", i, i, k.At(i, i))
+		}
+		for j := 0; j < 5; j++ {
+			if math.Abs(k.At(i, j)-k.At(j, i)) > 1e-12 {
+				t.Errorf("kernel not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Covariance decays with graph distance: vertex 0 correlates more
+	// with its neighbour 1 than with the far end 4.
+	if !(k.At(0, 1) > k.At(0, 4)) {
+		t.Errorf("K[0,1] = %v should exceed K[0,4] = %v", k.At(0, 1), k.At(0, 4))
+	}
+	// Doubling β halves the kernel.
+	k2, err := RegularizedLaplacian(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k2.At(0, 0)-k.At(0, 0)/2) > 1e-12 {
+		t.Errorf("beta scaling broken: %v vs %v", k2.At(0, 0), k.At(0, 0))
+	}
+	// Rescale matches recomputation.
+	kr, err := k.Rescale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if math.Abs(kr.At(i, j)-k2.At(i, j)) > 1e-12 {
+				t.Fatal("Rescale disagrees with direct computation")
+			}
+		}
+	}
+	if _, err := k.Rescale(0); err == nil {
+		t.Error("zero rescale must error")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	g := pathGraph(4)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(nil, []Observation{{Vertex: 0, Value: 1}}, 0.1); err == nil {
+		t.Error("nil kernel must error")
+	}
+	if _, err := Fit(k, nil, 0.1); err == nil {
+		t.Error("no observations must error")
+	}
+	if _, err := Fit(k, []Observation{{Vertex: 0, Value: 1}}, 0); err == nil {
+		t.Error("zero noise must error")
+	}
+	if _, err := Fit(k, []Observation{{Vertex: 9, Value: 1}}, 0.1); err == nil {
+		t.Error("out-of-range vertex must error")
+	}
+}
+
+func TestPredictionInterpolatesAndSmooths(t *testing.T) {
+	// Path 0..6: observe high flow at one end, low at the other. The
+	// unobserved middle must interpolate monotonically between them,
+	// and observed vertices must be approximately reproduced.
+	g := pathGraph(7)
+	k, err := RegularizedLaplacian(g, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Fit(k, []Observation{{Vertex: 0, Value: 100}, {Vertex: 6, Value: 10}}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance, err := reg.Predict([]int{0, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0]-100) > 15 || math.Abs(mean[2]-10) > 15 {
+		t.Errorf("observed vertices poorly reproduced: %v", mean)
+	}
+	if !(mean[0] > mean[1] && mean[1] > mean[2]) {
+		t.Errorf("middle must interpolate: %v", mean)
+	}
+	// Variance at unobserved middle exceeds variance at observed ends.
+	if !(variance[1] > variance[0] && variance[1] > variance[2]) {
+		t.Errorf("unobserved vertex must be more uncertain: %v", variance)
+	}
+}
+
+func TestPredictAllMatchesPredict(t *testing.T) {
+	g := pathGraph(5)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Fit(k, []Observation{{Vertex: 1, Value: 5}, {Vertex: 3, Value: 15}}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := reg.PredictAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("PredictAll length = %d", len(all))
+	}
+	mean, _, err := reg.Predict([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(all[2]-mean[0]) > 1e-12 {
+		t.Error("PredictAll disagrees with Predict")
+	}
+	if _, _, err := reg.Predict([]int{99}); err == nil {
+		t.Error("out-of-range prediction must error")
+	}
+}
+
+func TestDuplicateObservationsAveraged(t *testing.T) {
+	g := pathGraph(4)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regDup, err := Fit(k, []Observation{{Vertex: 1, Value: 10}, {Vertex: 1, Value: 20}, {Vertex: 2, Value: 5}}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two duplicate readings combine by inverse-variance weighting:
+	// value 15 with HALF the variance of a single reading.
+	regAvg, err := Fit(k, []Observation{{Vertex: 1, Value: 15, Noise: 0.05}, {Vertex: 2, Value: 5}}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := regDup.Predict([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := regAvg.Predict([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		if math.Abs(m1[i]-m2[i]) > 1e-9 {
+			t.Errorf("duplicates not averaged: %v vs %v", m1, m2)
+		}
+	}
+	if got := regDup.Observed(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Observed = %v", got)
+	}
+}
+
+func TestSmoothingOnDublinGraph(t *testing.T) {
+	// Estimates at unobserved junctions near congested sensors must
+	// exceed estimates near free-flowing sensors (the Figure 9
+	// behaviour: red near congestion, green in calm areas).
+	g := citygraph.GenerateDublin(citygraph.DublinConfig{GridX: 12, GridY: 8, Seed: 5})
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe high flow on vertices 0..3 (one corner) and low flow on
+	// the last 4 (opposite corner).
+	n := g.NumVertices()
+	obs := []Observation{
+		{Vertex: 0, Value: 900}, {Vertex: 1, Value: 880}, {Vertex: 2, Value: 910}, {Vertex: 3, Value: 905},
+		{Vertex: n - 1, Value: 80}, {Vertex: n - 2, Value: 95}, {Vertex: n - 3, Value: 70}, {Vertex: n - 4, Value: 85},
+	}
+	reg, err := Fit(k, obs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := reg.PredictAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unobserved neighbour of vertex 0 vs an unobserved neighbour
+	// of vertex n-1.
+	nearHigh := g.Neighbors(0)[0]
+	nearLow := g.Neighbors(n - 1)[0]
+	if !(all[nearHigh] > all[nearLow]) {
+		t.Errorf("estimate near congested corner (%v) must exceed calm corner (%v)",
+			all[nearHigh], all[nearLow])
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	g := pathGraph(12)
+	// Smooth ground truth along the path.
+	truth := func(i int) float64 { return 50 + 30*math.Sin(float64(i)/3) }
+	var obs []Observation
+	for i := 0; i < 12; i += 2 {
+		obs = append(obs, Observation{Vertex: i, Value: truth(i)})
+	}
+	res, err := GridSearch(g, obs, []float64{0.5, 2, 8}, []float64{0.1, 1, 5}, 0.5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 9 {
+		t.Errorf("Evaluated = %d, want 9", res.Evaluated)
+	}
+	if res.Alpha == 0 || res.Beta == 0 {
+		t.Error("no hyperparameters chosen")
+	}
+	if math.IsInf(res.RMSE, 1) || res.RMSE < 0 {
+		t.Errorf("RMSE = %v", res.RMSE)
+	}
+	// The chosen parameters must predict held-out vertices sensibly:
+	// RMSE should be well below the signal amplitude.
+	if res.RMSE > 30 {
+		t.Errorf("cross-validated RMSE = %v, want < 30", res.RMSE)
+	}
+}
+
+func TestGridSearchValidation(t *testing.T) {
+	g := pathGraph(5)
+	obs := []Observation{{Vertex: 0, Value: 1}, {Vertex: 1, Value: 2}, {Vertex: 2, Value: 3}}
+	if _, err := GridSearch(g, obs, nil, []float64{1}, 0.1, 2, 1); err == nil {
+		t.Error("empty alpha grid must error")
+	}
+	if _, err := GridSearch(g, obs, []float64{1}, []float64{1}, 0.1, 1, 1); err == nil {
+		t.Error("one fold must error")
+	}
+	if _, err := GridSearch(g, obs[:1], []float64{1}, []float64{1}, 0.1, 2, 1); err == nil {
+		t.Error("fewer observations than folds must error")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid(5)
+	if len(g) != 5 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[0] <= 0 {
+		t.Error("grid must exclude zero")
+	}
+	if g[len(g)-1] != 10 {
+		t.Errorf("grid must end at 10, got %v", g[len(g)-1])
+	}
+	if len(DefaultGrid(0)) != 5 {
+		t.Error("non-positive points must default")
+	}
+}
+
+func TestHeterogeneousNoise(t *testing.T) {
+	// A trusted sensor reading and a noisy crowd-derived reading
+	// disagree about the same junction; the fused estimate must sit
+	// much closer to the trusted one.
+	g := pathGraph(3)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Fit(k, []Observation{
+		{Vertex: 1, Value: 100, Noise: 1},    // SCATS: trusted
+		{Vertex: 1, Value: 1000, Noise: 100}, // crowd: noisy
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := reg.Predict([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inverse-variance fusion: (100/1 + 1000/100) / (1/1 + 1/100) ≈ 109.
+	if mean[0] > 200 {
+		t.Errorf("fused estimate %v ignores observation noise", mean[0])
+	}
+	if _, err := Fit(k, []Observation{{Vertex: 0, Value: 1, Noise: -1}}, 1); err == nil {
+		t.Error("negative per-observation noise must error")
+	}
+}
+
+func TestNoisierObservationHasLessPull(t *testing.T) {
+	g := pathGraph(5)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Observation{{Vertex: 0, Value: 50}, {Vertex: 4, Value: 50}}
+	// The same outlier at the middle, once trusted, once not.
+	trusted, err := Fit(k, append(base, Observation{Vertex: 2, Value: 500, Noise: 0.1}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distrusted, err := Fit(k, append(base, Observation{Vertex: 2, Value: 500, Noise: 1000}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err := trusted.Predict([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _, err := distrusted.Predict([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mt[0] > md[0]) {
+		t.Errorf("trusted outlier (%v) must pull harder than distrusted (%v)", mt[0], md[0])
+	}
+}
+
+func TestLogMarginalLikelihood(t *testing.T) {
+	g := pathGraph(8)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smooth data must be more likely than jagged data under the
+	// smoothness-encoding kernel.
+	smooth := []Observation{{Vertex: 0, Value: 10}, {Vertex: 1, Value: 12}, {Vertex: 2, Value: 14},
+		{Vertex: 3, Value: 16}, {Vertex: 4, Value: 18}}
+	jagged := []Observation{{Vertex: 0, Value: 10}, {Vertex: 1, Value: -40}, {Vertex: 2, Value: 60},
+		{Vertex: 3, Value: -90}, {Vertex: 4, Value: 120}}
+	llSmooth, err := LogMarginalLikelihood(k, smooth, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llJagged, err := LogMarginalLikelihood(k, jagged, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(llSmooth > llJagged) {
+		t.Errorf("smooth data must be more likely: %v vs %v", llSmooth, llJagged)
+	}
+	if math.IsNaN(llSmooth) || math.IsInf(llSmooth, 0) {
+		t.Errorf("log likelihood = %v", llSmooth)
+	}
+}
+
+func TestGridSearchML(t *testing.T) {
+	g := pathGraph(12)
+	truth := func(i int) float64 { return 50 + 30*math.Sin(float64(i)/3) }
+	var obs []Observation
+	for i := 0; i < 12; i++ {
+		obs = append(obs, Observation{Vertex: i, Value: truth(i)})
+	}
+	res, err := GridSearchML(g, obs, []float64{0.5, 2, 8}, []float64{0.1, 1, 5}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 9 {
+		t.Errorf("Evaluated = %d", res.Evaluated)
+	}
+	if res.Alpha == 0 || res.Beta == 0 {
+		t.Error("no hyperparameters selected")
+	}
+	// Training RMSE of the ML winner must be small on smooth data.
+	if res.RMSE > 10 {
+		t.Errorf("winner training RMSE = %v", res.RMSE)
+	}
+	if _, err := GridSearchML(g, obs, nil, []float64{1}, 0.5); err == nil {
+		t.Error("empty grid must error")
+	}
+	if _, err := GridSearchML(g, nil, []float64{1}, []float64{1}, 0.5); err == nil {
+		t.Error("no observations must error")
+	}
+}

@@ -1,0 +1,280 @@
+// Package insight wires the components of the INSIGHT Dublin traffic
+// management system (Artikis et al., EDBT 2014, Figure 1) into one
+// runnable System:
+//
+//   - the synthetic Dublin substrate (package dublin) plays the role
+//     of the bus and SCATS sensor feeds behind their mediators;
+//   - complex event processing (packages rtec and traffic) recognises
+//     congestion, trends, source disagreement and source reliability,
+//     distributed over the four city regions;
+//   - crowdsourcing (packages crowd and crowd/qee) resolves source
+//     disagreements by querying simulated participants near the
+//     disputed intersection and fusing their answers with online EM;
+//     verdicts are fed back into the CEP engine as crowd events,
+//     closing the self-adaptation loop of rule-sets (4)/(5) + (3′);
+//   - traffic modelling (package gp) produces city-wide flow estimates
+//     from the sparse sensor readings on demand.
+//
+// Each query time yields a Report — the operator-facing view with the
+// recognised situations, alerts and crowdsourcing outcomes.
+package insight
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/insight-dublin/insight/crowd"
+	"github.com/insight-dublin/insight/crowd/qee"
+	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/gp"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// Time re-exports the discrete time point type used across the system.
+type Time = rtec.Time
+
+// SimParticipant describes one simulated crowdsourcing volunteer.
+type SimParticipant struct {
+	ID        string
+	Pos       geo.Point
+	ErrorProb float64
+	Network   qee.Network
+}
+
+// Config assembles a System.
+type Config struct {
+	// City is the synthetic Dublin substrate. Required.
+	City *dublin.City
+	// CloseMeters is the close-predicate threshold. Default 150.
+	CloseMeters float64
+	// Traffic overrides CE thresholds; Registry is filled in from the
+	// city automatically.
+	Traffic traffic.Config
+	// WorkingMemory and Step configure RTEC windowing. Defaults:
+	// WM 1800 s, Step 900 s (window twice the step, absorbing
+	// mediator delays per Figure 2).
+	WorkingMemory, Step Time
+	// Partitions is the number of CE recognition partitions.
+	// Default geo.NumRegions (the paper's four city areas).
+	Partitions int
+	// Participants are the crowdsourcing volunteers. Crowdsourcing is
+	// disabled when empty.
+	Participants []SimParticipant
+	// CrowdSelection picks whom to query; default
+	// crowd.SelectNearest(5, 0).
+	CrowdSelection crowd.Selection
+	// CrowdDeadline bounds each crowd query; default 0 (none).
+	CrowdDeadline time.Duration
+	// Seed drives the crowdsourcing simulation.
+	Seed int64
+}
+
+// System is the assembled INSIGHT pipeline.
+type System struct {
+	cfg       Config
+	city      *dublin.City
+	registry  *traffic.Registry
+	defs      *rtec.Definitions
+	engines   *rtec.Partitioned
+	estimator *crowd.Estimator
+	qeeEngine *qee.Engine
+	roster    *crowd.Roster
+
+	gen     *dublin.Generator
+	genDone bool
+	primed  bool
+	inbox   []dublin.SDE // generated, not yet fed; sorted by arrival
+	next    *dublin.SDE  // lookahead from the generator
+
+	lastTraffic  map[string]trafficReading // latest reading per sensor
+	lastCrowd    map[string]crowdReading   // latest verdict per intersection
+	sensorVertex map[string]int            // sensor ID -> graph vertex
+	interVertex  map[string]int            // intersection ID -> graph vertex
+	kernels      map[[2]float64]*gp.Kernel
+}
+
+type crowdReading struct {
+	vertex    int
+	congested bool
+	t         Time
+}
+
+type trafficReading struct {
+	vertex int
+	flow   float64
+	t      Time
+}
+
+// New assembles a System.
+func New(cfg Config) (*System, error) {
+	if cfg.City == nil {
+		return nil, fmt.Errorf("insight: Config.City is required")
+	}
+	if cfg.CloseMeters == 0 {
+		cfg.CloseMeters = 150
+	}
+	if cfg.WorkingMemory == 0 {
+		cfg.WorkingMemory = 1800
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 900
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = int(geo.NumRegions)
+	}
+	if cfg.CrowdSelection == nil {
+		cfg.CrowdSelection = crowd.SelectNearest(5, 0)
+	}
+
+	registry, err := cfg.City.Registry(cfg.CloseMeters)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := cfg.Traffic
+	tcfg.Registry = registry
+	if tcfg.CrowdWindow == 0 {
+		// Crowd verdicts are produced at query times, up to a step
+		// after the disagreement they answer; leave headroom so they
+		// land inside the rule-sets' validity window.
+		tcfg.CrowdWindow = cfg.Step + 600
+	}
+	defs, err := traffic.Build(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	engines, err := rtec.NewPartitioned(defs, rtec.Options{
+		WorkingMemory: cfg.WorkingMemory,
+		Step:          cfg.Step,
+	}, cfg.Partitions, func(e rtec.Event) int {
+		return dublin.PartitionOf(e) % cfg.Partitions
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:          cfg,
+		city:         cfg.City,
+		registry:     registry,
+		defs:         defs,
+		engines:      engines,
+		estimator:    crowd.NewEstimator(crowd.EstimatorOptions{}),
+		roster:       crowd.NewRoster(),
+		lastTraffic:  make(map[string]trafficReading),
+		lastCrowd:    make(map[string]crowdReading),
+		sensorVertex: make(map[string]int, len(cfg.City.Sensors())),
+		interVertex:  make(map[string]int),
+		kernels:      make(map[[2]float64]*gp.Kernel),
+	}
+	for _, sensor := range cfg.City.Sensors() {
+		s.sensorVertex[sensor.ID] = sensor.Vertex
+		s.interVertex[sensor.Intersection] = sensor.Vertex
+	}
+
+	if len(cfg.Participants) > 0 {
+		s.qeeEngine = qee.NewEngine(qee.Options{Seed: cfg.Seed})
+		for i, p := range cfg.Participants {
+			if err := s.roster.Register(crowd.Participant{
+				ID: p.ID, Pos: p.Pos, Online: true,
+				ComputeTime: 2 * time.Second,
+			}); err != nil {
+				return nil, err
+			}
+			sim := crowd.NewSimulatedParticipant(p.ID, p.ErrorProb, cfg.Seed+int64(i)*97+13)
+			city := cfg.City
+			if err := s.qeeEngine.Connect(qee.Device{
+				Participant: crowd.Participant{ID: p.ID, Pos: p.Pos},
+				Network:     p.Network,
+				Respond: func(q qee.Query) (string, time.Duration) {
+					truth := traffic.Negative
+					// The participant looks out the window: ground truth
+					// at the disputed location, right now.
+					if t, ok := parseQueryTime(q.ID); ok && city.IsCongested(q.Pos, t) {
+						truth = traffic.Positive
+					}
+					return sim.Answer(q.Answers, truth).Label, 2 * time.Second
+				},
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Registry exposes the SCATS intersection registry.
+func (s *System) Registry() *traffic.Registry { return s.registry }
+
+// Definitions exposes the compiled CE definition set.
+func (s *System) Definitions() *rtec.Definitions { return s.defs }
+
+// Estimator exposes the online EM participant-reliability estimator.
+func (s *System) Estimator() *crowd.Estimator { return s.estimator }
+
+// queryTimeID encodes the query time into the crowd query ID so the
+// simulated participants can consult the ground truth of the right
+// moment (a real participant would simply look at the street).
+func queryTimeID(inter string, t Time) string {
+	return fmt.Sprintf("%s@%d", inter, int64(t))
+}
+
+func parseQueryTime(id string) (Time, bool) {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '@' {
+			var t int64
+			if _, err := fmt.Sscanf(id[i+1:], "%d", &t); err != nil {
+				return 0, false
+			}
+			return Time(t), true
+		}
+	}
+	return 0, false
+}
+
+// feed pumps generated SDEs with Arrival <= q into the engines and
+// tracks the latest sensor readings for the traffic model.
+func (s *System) feed(q Time) (int, error) {
+	// Pull the occurrence-ordered generator far enough: any event
+	// occurring after q also arrives after q.
+	for !s.genDone {
+		if s.next == nil {
+			sde, ok := s.gen.Next()
+			if !ok {
+				s.genDone = true
+				break
+			}
+			s.next = &sde
+		}
+		if s.next.Event.Time > q {
+			break
+		}
+		s.inbox = append(s.inbox, *s.next)
+		s.next = nil
+	}
+	sort.SliceStable(s.inbox, func(i, j int) bool { return s.inbox[i].Arrival < s.inbox[j].Arrival })
+	fed := 0
+	for len(s.inbox) > 0 && s.inbox[0].Arrival <= q {
+		sde := s.inbox[0]
+		s.inbox = s.inbox[1:]
+		if err := s.engines.Input(sde.Event); err != nil {
+			return fed, err
+		}
+		fed++
+		if sde.Event.Type == traffic.TrafficType {
+			s.noteTraffic(sde.Event)
+		}
+	}
+	return fed, nil
+}
+
+func (s *System) noteTraffic(e rtec.Event) {
+	v, ok := s.sensorVertex[e.Key]
+	if !ok {
+		return
+	}
+	flow, _ := e.Float("flow")
+	s.lastTraffic[e.Key] = trafficReading{vertex: v, flow: flow, t: e.Time}
+}

@@ -1,0 +1,94 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverageAtLeast(t *testing.T) {
+	lists := []List{
+		{sp(0, 10)},
+		{sp(5, 15)},
+		{sp(8, 20)},
+	}
+	cases := []struct {
+		n    int
+		want List
+	}{
+		{1, List{sp(0, 20)}},
+		{2, List{sp(5, 15)}},
+		{3, List{sp(8, 10)}},
+		{4, nil},
+		{0, nil},
+		{-1, nil},
+	}
+	for _, c := range cases {
+		if got := CoverageAtLeast(c.n, lists); !got.Equal(c.want) {
+			t.Errorf("CoverageAtLeast(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCoverageAtLeastEmpty(t *testing.T) {
+	if got := CoverageAtLeast(1, nil); got != nil {
+		t.Errorf("no lists = %v, want nil", got)
+	}
+	if got := CoverageAtLeast(1, []List{nil, nil}); got != nil {
+		t.Errorf("empty lists = %v, want nil", got)
+	}
+}
+
+func TestCoverageAtLeastAdjacent(t *testing.T) {
+	// Two lists covering adjacent spans never overlap.
+	lists := []List{{sp(0, 5)}, {sp(5, 10)}}
+	if got := CoverageAtLeast(2, lists); got != nil {
+		t.Errorf("adjacent spans overlap = %v, want nil", got)
+	}
+	if got := CoverageAtLeast(1, lists); !got.Equal(List{sp(0, 10)}) {
+		t.Errorf("union of adjacent = %v", got)
+	}
+}
+
+// CoverageAtLeast(1) must equal UnionAll, and
+// CoverageAtLeast(len) must equal IntersectAll.
+func TestQuickCoverageEdges(t *testing.T) {
+	f := func(a, b, c listGen) bool {
+		lists := []List{a.l, b.l, c.l}
+		if !CoverageAtLeast(1, lists).Equal(UnionAll(lists...)) {
+			return false
+		}
+		return CoverageAtLeast(3, lists).Equal(IntersectAll(lists...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pointwise check: a time point is covered by CoverageAtLeast(n) iff
+// at least n lists contain it.
+func TestQuickCoveragePointwise(t *testing.T) {
+	f := func(a, b, c listGen) bool {
+		lists := []List{a.l, b.l, c.l}
+		for n := 1; n <= 3; n++ {
+			cov := CoverageAtLeast(n, lists)
+			if !cov.Valid() {
+				return false
+			}
+			for tp := Time(-150); tp < 150; tp++ {
+				count := 0
+				for _, l := range lists {
+					if l.Contains(tp) {
+						count++
+					}
+				}
+				if cov.Contains(tp) != (count >= n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

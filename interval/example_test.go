@@ -1,0 +1,49 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"github.com/insight-dublin/insight/interval"
+)
+
+// The three interval-manipulation constructs of RTEC's Table 1.
+func Example() {
+	busCongestion := interval.List{{Start: 0, End: 100}}
+	scatsCongestion := interval.List{{Start: 30, End: 60}}
+
+	// union_all
+	fmt.Println(interval.UnionAll(busCongestion, scatsCongestion))
+	// intersect_all
+	fmt.Println(interval.IntersectAll(busCongestion, scatsCongestion))
+	// relative_complement_all: the sourceDisagreement definition —
+	// periods where buses report congestion but SCATS does not.
+	fmt.Println(interval.RelativeComplementAll(busCongestion, []interval.List{scatsCongestion}))
+	// Output:
+	// [0, 100)
+	// [30, 60)
+	// [0, 30) ∪ [60, 100)
+}
+
+// Maximal intervals from initiation/termination points under inertia,
+// the way RTEC computes holdsFor for simple fluents.
+func ExampleFromTransitions() {
+	initiations := []interval.Time{10, 25} // re-initiation is inert
+	terminations := []interval.Time{40}
+	l := interval.FromTransitions(initiations, terminations, false, 0, 1000)
+	fmt.Println(l)
+	// Output:
+	// [11, 41)
+}
+
+// Threshold coverage: "an intersection is congested while at least n
+// of its sensors are congested".
+func ExampleCoverageAtLeast() {
+	sensors := []interval.List{
+		{{Start: 0, End: 50}},
+		{{Start: 20, End: 80}},
+		{{Start: 40, End: 60}},
+	}
+	fmt.Println(interval.CoverageAtLeast(2, sensors))
+	// Output:
+	// [20, 60)
+}

@@ -1,0 +1,505 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sp(a, b Time) Span { return Span{Start: a, End: b} }
+
+func TestSpanEmpty(t *testing.T) {
+	cases := []struct {
+		s    Span
+		want bool
+	}{
+		{Span{}, true},
+		{sp(5, 5), true},
+		{sp(6, 5), true},
+		{sp(5, 6), false},
+		{sp(MinTime, MaxTime), false},
+	}
+	for _, c := range cases {
+		if got := c.s.Empty(); got != c.want {
+			t.Errorf("%v.Empty() = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	s := sp(10, 20)
+	for _, c := range []struct {
+		t    Time
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {19, true}, {20, false}} {
+		if got := s.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSpanIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Span
+	}{
+		{sp(0, 10), sp(5, 15), sp(5, 10)},
+		{sp(0, 10), sp(10, 20), Span{}},
+		{sp(0, 10), sp(12, 20), Span{}},
+		{sp(0, 10), sp(2, 8), sp(2, 8)},
+		{sp(0, 10), sp(0, 10), sp(0, 10)},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersect(c.b); got != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Intersection is commutative.
+		if got := c.b.Intersect(c.a); got != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v (commuted)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	if d := sp(3, 10).Duration(); d != 7 {
+		t.Errorf("Duration = %d, want 7", d)
+	}
+	if d := (Span{}).Duration(); d != 0 {
+		t.Errorf("empty Duration = %d, want 0", d)
+	}
+	if d := sp(MinTime, 0).Duration(); d != MaxTime {
+		t.Errorf("sentinel Duration = %d, want saturated MaxTime", d)
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	if got := sp(1, 2).String(); got != "[1, 2)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := sp(MinTime, MaxTime).String(); got != "[-inf, +inf)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Span
+		want List
+	}{
+		{"empty", nil, nil},
+		{"drops empty spans", []Span{sp(5, 5), sp(8, 3)}, nil},
+		{"sorts", []Span{sp(10, 12), sp(0, 2)}, List{sp(0, 2), sp(10, 12)}},
+		{"merges overlap", []Span{sp(0, 5), sp(3, 8)}, List{sp(0, 8)}},
+		{"merges adjacent", []Span{sp(0, 5), sp(5, 8)}, List{sp(0, 8)}},
+		{"keeps gaps", []Span{sp(0, 5), sp(6, 8)}, List{sp(0, 5), sp(6, 8)}},
+		{"nested", []Span{sp(0, 10), sp(2, 3)}, List{sp(0, 10)}},
+		{"duplicate", []Span{sp(1, 4), sp(1, 4)}, List{sp(1, 4)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Normalize(c.in)
+			if !got.Equal(c.want) {
+				t.Errorf("Normalize(%v) = %v, want %v", c.in, got, c.want)
+			}
+			if !got.Valid() {
+				t.Errorf("Normalize(%v) = %v is not valid", c.in, got)
+			}
+		})
+	}
+}
+
+func TestListContains(t *testing.T) {
+	l := List{sp(0, 5), sp(10, 15), sp(20, 25)}
+	for _, c := range []struct {
+		t    Time
+		want bool
+	}{
+		{-1, false}, {0, true}, {4, true}, {5, false}, {7, false},
+		{10, true}, {14, true}, {15, false}, {24, true}, {25, false}, {100, false},
+	} {
+		if got := l.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if (List)(nil).Contains(3) {
+		t.Error("nil list should contain nothing")
+	}
+}
+
+func TestListDuration(t *testing.T) {
+	l := List{sp(0, 5), sp(10, 15)}
+	if d := l.Duration(); d != 10 {
+		t.Errorf("Duration = %d, want 10", d)
+	}
+	if d := (List{sp(MinTime, 0), sp(5, 10)}).Duration(); d != MaxTime {
+		t.Errorf("sentinel Duration = %d, want saturated", d)
+	}
+}
+
+func TestListString(t *testing.T) {
+	if got := (List{}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := (List{sp(1, 2), sp(4, 6)}).String(); got != "[1, 2) ∪ [4, 6)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := List{sp(0, 5), sp(10, 15)}
+	b := List{sp(4, 11), sp(20, 22)}
+	want := List{sp(0, 15), sp(20, 22)}
+	if got := Union(a, b); !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got := Union(nil, b); !got.Equal(b) {
+		t.Errorf("Union(nil, b) = %v, want %v", got, b)
+	}
+	if got := Union(a, nil); !got.Equal(a) {
+		t.Errorf("Union(a, nil) = %v, want %v", got, a)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	got := UnionAll(
+		List{sp(0, 2)},
+		List{sp(1, 4)},
+		List{sp(8, 9)},
+		nil,
+	)
+	want := List{sp(0, 4), sp(8, 9)}
+	if !got.Equal(want) {
+		t.Errorf("UnionAll = %v, want %v", got, want)
+	}
+	if got := UnionAll(); got != nil {
+		t.Errorf("UnionAll() = %v, want nil", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := List{sp(0, 10), sp(20, 30)}
+	b := List{sp(5, 25)}
+	want := List{sp(5, 10), sp(20, 25)}
+	if got := Intersect(a, b); !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got := Intersect(a, nil); got != nil {
+		t.Errorf("Intersect(a, nil) = %v, want nil", got)
+	}
+}
+
+func TestIntersectAll(t *testing.T) {
+	got := IntersectAll(
+		List{sp(0, 100)},
+		List{sp(10, 50), sp(60, 90)},
+		List{sp(40, 70)},
+	)
+	want := List{sp(40, 50), sp(60, 70)}
+	if !got.Equal(want) {
+		t.Errorf("IntersectAll = %v, want %v", got, want)
+	}
+	if got := IntersectAll(); got != nil {
+		t.Errorf("IntersectAll() = %v, want nil", got)
+	}
+	if got := IntersectAll(List{sp(0, 1)}, nil, List{sp(0, 1)}); got != nil {
+		t.Errorf("IntersectAll with empty member = %v, want nil", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	cases := []struct {
+		name     string
+		l        List
+		universe Span
+		want     List
+	}{
+		{"empty list", nil, sp(0, 10), List{sp(0, 10)}},
+		{"full cover", List{sp(0, 10)}, sp(0, 10), nil},
+		{"middle gap", List{sp(0, 3), sp(7, 10)}, sp(0, 10), List{sp(3, 7)}},
+		{"edges", List{sp(2, 4)}, sp(0, 10), List{sp(0, 2), sp(4, 10)}},
+		{"outside universe", List{sp(100, 200)}, sp(0, 10), List{sp(0, 10)}},
+		{"overhanging", List{sp(-5, 2), sp(8, 20)}, sp(0, 10), List{sp(2, 8)}},
+		{"empty universe", List{sp(0, 5)}, Span{}, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Complement(c.l, c.universe)
+			if !got.Equal(c.want) {
+				t.Errorf("Complement(%v, %v) = %v, want %v", c.l, c.universe, got, c.want)
+			}
+		})
+	}
+}
+
+func TestRelativeComplement(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b List
+		want List
+	}{
+		{"disjoint", List{sp(0, 5)}, List{sp(10, 20)}, List{sp(0, 5)}},
+		{"swallowed", List{sp(2, 4)}, List{sp(0, 10)}, nil},
+		{"split", List{sp(0, 10)}, List{sp(3, 6)}, List{sp(0, 3), sp(6, 10)}},
+		{"left trim", List{sp(0, 10)}, List{sp(-5, 4)}, List{sp(4, 10)}},
+		{"right trim", List{sp(0, 10)}, List{sp(7, 15)}, List{sp(0, 7)}},
+		{"multi", List{sp(0, 10), sp(20, 30)}, List{sp(5, 25)}, List{sp(0, 5), sp(25, 30)}},
+		{"b empty", List{sp(0, 10)}, nil, List{sp(0, 10)}},
+		{"a empty", nil, List{sp(0, 10)}, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := RelativeComplement(c.a, c.b)
+			if !got.Equal(c.want) {
+				t.Errorf("RelativeComplement(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+// TestRelativeComplementAll reproduces the sourceDisagreement pattern of
+// Section 4.3: bus congestion intervals minus SCATS congestion intervals.
+func TestRelativeComplementAll(t *testing.T) {
+	busCongestion := List{sp(0, 100)}
+	scatsCongestion := List{sp(30, 60)}
+	got := RelativeComplementAll(busCongestion, []List{scatsCongestion})
+	want := List{sp(0, 30), sp(60, 100)}
+	if !got.Equal(want) {
+		t.Errorf("RelativeComplementAll = %v, want %v", got, want)
+	}
+
+	got = RelativeComplementAll(busCongestion, []List{scatsCongestion, {sp(0, 40)}, {sp(90, 100)}})
+	want = List{sp(60, 90)}
+	if !got.Equal(want) {
+		t.Errorf("RelativeComplementAll (3 lists) = %v, want %v", got, want)
+	}
+
+	if got := RelativeComplementAll(busCongestion, nil); !got.Equal(busCongestion) {
+		t.Errorf("RelativeComplementAll with no subtrahends = %v, want base", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	l := List{sp(0, 10), sp(20, 30), sp(40, 50)}
+	got := Clip(l, sp(5, 45))
+	want := List{sp(5, 10), sp(20, 30), sp(40, 45)}
+	if !got.Equal(want) {
+		t.Errorf("Clip = %v, want %v", got, want)
+	}
+	if got := Clip(l, Span{}); got != nil {
+		t.Errorf("Clip to empty window = %v, want nil", got)
+	}
+}
+
+func TestFromTransitions(t *testing.T) {
+	horizon := Time(1000)
+	cases := []struct {
+		name         string
+		ini, ter     []Time
+		holdsAtStart bool
+		want         List
+	}{
+		{"single period", []Time{10}, []Time{20}, false, List{sp(11, 21)}},
+		{"open period extends to horizon", []Time{10}, nil, false, List{sp(11, 1000)}},
+		{"holds at start until termination", nil, []Time{15}, true, List{sp(0, 16)}},
+		{"holds at start no termination", nil, nil, true, List{sp(0, 1000)}},
+		{"re-initiation is inert", []Time{10, 12, 14}, []Time{20}, false, List{sp(11, 21)}},
+		{"termination without holding ignored", nil, []Time{5}, false, nil},
+		{"two periods", []Time{10, 30}, []Time{20, 40}, false, List{sp(11, 21), sp(31, 41)}},
+		{"simultaneous init+term closes", []Time{10}, []Time{10}, true, List{sp(0, 11), sp(11, 1000)}},
+		{"unsorted input", []Time{30, 10}, []Time{40, 20}, false, List{sp(11, 21), sp(31, 41)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := FromTransitions(c.ini, c.ter, c.holdsAtStart, 0, horizon)
+			// "simultaneous init+term closes": term at 10 closes [0,11),
+			// init at 10 reopens [11, horizon) and Normalize merges them.
+			want := Normalize(c.want)
+			if !got.Equal(want) {
+				t.Errorf("FromTransitions = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// genList builds a random normalized list from a seed.
+func genList(r *rand.Rand) List {
+	n := r.Intn(6)
+	spans := make([]Span, n)
+	for i := range spans {
+		start := Time(r.Intn(200) - 100)
+		spans[i] = Span{Start: start, End: start + Time(r.Intn(30))}
+	}
+	return Normalize(spans)
+}
+
+// listGen adapts genList for testing/quick.
+type listGen struct{ l List }
+
+func (listGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(listGen{genList(r)})
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(g listGen) bool {
+		again := Normalize(g.l)
+		return again.Equal(g.l) && again.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(a, b listGen) bool {
+		return Union(a.l, b.l).Equal(Union(b.l, a.l))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(a, b listGen) bool {
+		return Intersect(a.l, b.l).Equal(Intersect(b.l, a.l))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionAssociative(t *testing.T) {
+	f := func(a, b, c listGen) bool {
+		return Union(Union(a.l, b.l), c.l).Equal(Union(a.l, Union(b.l, c.l)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// De Morgan inside a bounded universe: ¬(A ∪ B) = ¬A ∩ ¬B.
+func TestQuickDeMorgan(t *testing.T) {
+	universe := sp(-150, 150)
+	f := func(a, b listGen) bool {
+		lhs := Complement(Union(a.l, b.l), universe)
+		rhs := Intersect(Complement(a.l, universe), Complement(b.l, universe))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A \ B pointwise: every covered point is in A and not in B.
+func TestQuickRelativeComplementPointwise(t *testing.T) {
+	f := func(a, b listGen) bool {
+		diff := RelativeComplement(a.l, b.l)
+		if !diff.Valid() {
+			return false
+		}
+		for tp := Time(-150); tp < 150; tp++ {
+			want := a.l.Contains(tp) && !b.l.Contains(tp)
+			if diff.Contains(tp) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Union/Intersect pointwise agreement with set semantics.
+func TestQuickSetSemanticsPointwise(t *testing.T) {
+	f := func(a, b listGen) bool {
+		u := Union(a.l, b.l)
+		x := Intersect(a.l, b.l)
+		if !u.Valid() || !x.Valid() {
+			return false
+		}
+		for tp := Time(-150); tp < 150; tp++ {
+			inA, inB := a.l.Contains(tp), b.l.Contains(tp)
+			if u.Contains(tp) != (inA || inB) {
+				return false
+			}
+			if x.Contains(tp) != (inA && inB) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Duration is additive under disjoint union: |A| + |B| = |A∪B| + |A∩B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(a, b listGen) bool {
+		return a.l.Duration()+b.l.Duration() ==
+			Union(a.l, b.l).Duration()+Intersect(a.l, b.l).Duration()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClipSubset(t *testing.T) {
+	window := sp(-50, 50)
+	f := func(a listGen) bool {
+		clipped := Clip(a.l, window)
+		if !clipped.Valid() {
+			return false
+		}
+		for tp := Time(-150); tp < 150; tp++ {
+			want := a.l.Contains(tp) && window.Contains(tp)
+			if clipped.Contains(tp) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionAll(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	lists := make([]List, 16)
+	for i := range lists {
+		spans := make([]Span, 64)
+		for j := range spans {
+			start := Time(r.Intn(100000))
+			spans[j] = Span{Start: start, End: start + Time(r.Intn(50)+1)}
+		}
+		lists[i] = Normalize(spans)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionAll(lists...)
+	}
+}
+
+func BenchmarkRelativeComplement(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	mk := func() List {
+		spans := make([]Span, 256)
+		for j := range spans {
+			start := Time(r.Intn(100000))
+			spans[j] = Span{Start: start, End: start + Time(r.Intn(50)+1)}
+		}
+		return Normalize(spans)
+	}
+	a, c := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RelativeComplement(a, c)
+	}
+}

@@ -1,0 +1,283 @@
+package insight
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/streams"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// Pipeline assembles the system as a Streams data-flow graph, the
+// architecture of Section 3 of the paper:
+//
+//   - input handling processes: "all SDEs emitted by buses form one
+//     stream, while the SDEs emitted by vehicle detectors of a SCATS
+//     system are referenced by four streams, one per region of Dublin
+//     city" — five sources feeding one SDE queue;
+//   - an event processing process whose processor embeds the RTEC
+//     engines, triggered by watermark punctuation: a query time fires
+//     once every input stream's arrival clock has passed it, which is
+//     exactly when all SDEs arriving by that query time have been
+//     merged (delayed SDEs are then handled by WM > step as usual);
+//   - a crowdsourcing process whose processor turns fresh disagreement
+//     CEs into participant queries and merges the responses;
+//   - the traffic modelling procedure registered as a Streams service.
+//
+// Reports flow to the returned collector sink, one item per query time
+// under key "report".
+type Pipeline struct {
+	Topology *streams.Topology
+	Reports  *streams.CollectorSink
+	system   *System
+}
+
+// Item attribute keys used by the pipeline.
+const (
+	itemEvent   = "event"   // rtec.Event payload
+	itemArrival = "arrival" // arrival time (int64)
+	itemSource  = "source"  // originating stream id
+	itemEOF     = "eof"     // end-of-stream punctuation
+	itemReport  = "report"  // *Report payload
+)
+
+// BuildPipeline constructs the Figure 1 data-flow graph over the
+// system for SDEs occurring in [from, until). Run it with
+// Pipeline.Topology.Run; afterwards Pipeline.Reports holds one item
+// per query time.
+func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
+	sdes := s.city.Collect(from, until)
+
+	// Split into the paper's five input streams, each arrival-ordered
+	// (Collect already sorted globally, so per-stream order is kept).
+	streamIDs := []string{"bus", "scats-central", "scats-north", "scats-west", "scats-south"}
+	perStream := make(map[string][]streams.Item, len(streamIDs))
+	for _, sde := range sdes {
+		id := "bus"
+		if sde.Event.Type == traffic.TrafficType {
+			id = "scats-" + geo.Region(dublin.PartitionOf(sde.Event)).String()
+		}
+		perStream[id] = append(perStream[id], streams.Item{
+			itemEvent:   sde.Event,
+			itemArrival: int64(sde.Arrival),
+			itemSource:  id,
+		})
+	}
+	// End-of-stream punctuation: enough trailing markers per stream
+	// for the event processor to flush one buffered report per marker
+	// once the watermarks stop advancing.
+	boundaries := int((until-from)/s.cfg.Step) + 2
+	top := streams.NewTopology()
+	for _, id := range streamIDs {
+		items := perStream[id]
+		for i := 0; i < boundaries; i++ {
+			items = append(items, streams.Item{itemSource: id, itemEOF: true})
+		}
+		if err := top.AddStream(id, streams.NewSliceSource(items...)); err != nil {
+			return nil, err
+		}
+	}
+
+	sdeQueue := "sdes"
+	if _, err := top.AddQueue(sdeQueue, 4096); err != nil {
+		return nil, err
+	}
+	reportQueue := "reports"
+	if _, err := top.AddQueue(reportQueue, 64); err != nil {
+		return nil, err
+	}
+	sink := streams.NewCollectorSink()
+	if err := top.AddSink("operator", sink); err != nil {
+		return nil, err
+	}
+
+	// Input handling processes: one per stream, validating and
+	// forwarding into the shared SDE queue.
+	validate := streams.ProcessorFunc(func(it streams.Item) (streams.Item, error) {
+		if it.Bool(itemEOF) {
+			return it, nil
+		}
+		if _, ok := it[itemEvent].(rtec.Event); !ok {
+			return nil, fmt.Errorf("insight: SDE item without event payload")
+		}
+		return it, nil
+	})
+	for _, id := range streamIDs {
+		if err := top.AddProcess("input-"+id, id, sdeQueue, validate); err != nil {
+			return nil, err
+		}
+	}
+
+	// The monitoring process: a sequence of two processors, as in the
+	// Streams idiom of "processes comprise a sequence of processors".
+	// The first embeds the RTEC engines with watermark punctuation and
+	// emits a report item per query boundary; the second is the
+	// crowdsourcing processor — it resolves the fresh disagreements of
+	// each report and feeds the verdicts back into the engines before
+	// the next boundary is evaluated, exactly like the synchronous
+	// loop (and like the paper's feedback edge in Figure 1).
+	rtecProc := &rtecProcessor{
+		system:     s,
+		step:       s.cfg.Step,
+		nextQ:      from + s.cfg.Step,
+		until:      until,
+		watermarks: make(map[string]Time, len(streamIDs)),
+		expected:   len(streamIDs),
+	}
+	crowdProc := streams.ProcessorFunc(func(it streams.Item) (streams.Item, error) {
+		rep, ok := it[itemReport].(*Report)
+		if !ok {
+			return nil, fmt.Errorf("insight: report item without payload")
+		}
+		if s.qeeEngine != nil {
+			rounds, err := s.resolveDisagreements(context.Background(), rep.Q, rep.Result)
+			if err != nil {
+				return nil, err
+			}
+			rep.CrowdRounds = rounds
+		}
+		return it, nil
+	})
+	if err := top.AddProcess("monitoring", sdeQueue, reportQueue, rtecProc, crowdProc); err != nil {
+		return nil, err
+	}
+
+	// Output handling: forward finished reports to the operator sink.
+	forward := streams.ProcessorFunc(func(it streams.Item) (streams.Item, error) { return it, nil })
+	if err := top.AddProcess("operator-output", reportQueue, "operator", forward); err != nil {
+		return nil, err
+	}
+
+	// Traffic modelling as a Streams service (Section 3: "the
+	// procedure for making congestion estimates at locations with low
+	// sensor coverage is wrapped as a Streams service").
+	if err := top.RegisterService("trafficModel", TrafficModelService(s.FlowMap)); err != nil {
+		return nil, err
+	}
+
+	return &Pipeline{Topology: top, Reports: sink, system: s}, nil
+}
+
+// TrafficModelService is the service type under which the traffic
+// modelling procedure is registered in the pipeline topology.
+type TrafficModelService func(MapConfig) (*FlowEstimate, error)
+
+// rtecProcessor embeds the partitioned RTEC engines in the streams
+// framework. It forwards every SDE to the engines and fires query
+// evaluations when the minimum arrival watermark across the input
+// streams passes a query boundary — at that point every SDE arriving
+// by the boundary has been merged into the queue and consumed.
+type rtecProcessor struct {
+	system     *System
+	step       Time
+	nextQ      Time
+	until      Time
+	watermarks map[string]Time
+	expected   int
+	// pending buffers consumed SDEs until a query boundary admits
+	// them: at query time Q exactly the SDEs with arrival <= Q may
+	// have been delivered to the engines, as in a live deployment.
+	pending []pendingSDE
+	// due holds evaluated reports awaiting emission: a processor maps
+	// one item to at most one item, so simultaneous boundaries drain
+	// one per subsequent item (the punctuation padding guarantees
+	// enough of them).
+	due []streams.Item
+}
+
+type pendingSDE struct {
+	event   rtec.Event
+	arrival Time
+}
+
+// Process implements streams.Processor. SDE items are consumed; when
+// query boundaries become due their report items are emitted, one per
+// processed item.
+func (p *rtecProcessor) Process(it streams.Item) (streams.Item, error) {
+	src := it.String(itemSource)
+	if it.Bool(itemEOF) {
+		p.watermarks[src] = p.until + p.step // unblock the final boundaries
+	} else {
+		ev, _ := it[itemEvent].(rtec.Event)
+		arrival := Time(it.Int(itemArrival))
+		p.pending = append(p.pending, pendingSDE{event: ev, arrival: arrival})
+		p.watermarks[src] = arrival
+	}
+	if err := p.fireDue(context.Background()); err != nil {
+		return nil, err
+	}
+	if len(p.due) == 0 {
+		return nil, nil
+	}
+	rep := p.due[0]
+	p.due = p.due[1:]
+	return rep, nil
+}
+
+// fireDue evaluates every query boundary the minimum arrival watermark
+// across the input streams has passed: at that point all SDEs arriving
+// by those boundaries have been consumed from the merge queue.
+func (p *rtecProcessor) fireDue(ctx context.Context) error {
+	if len(p.watermarks) < p.expected {
+		return nil // not every stream has reported yet
+	}
+	watermark := Time(0)
+	first := true
+	for _, w := range p.watermarks {
+		if first || w < watermark {
+			watermark, first = w, false
+		}
+	}
+	// Strictly greater: with equal arrival timestamps the merge queue
+	// may still hold a sibling item stamped exactly at the boundary.
+	for p.nextQ <= p.until && watermark > p.nextQ {
+		q := p.nextQ
+		p.nextQ += p.step
+		// Deliver exactly the SDEs that have arrived by q.
+		kept := p.pending[:0]
+		fed := 0
+		for _, ps := range p.pending {
+			if ps.arrival <= q {
+				if err := p.system.engines.Input(ps.event); err != nil {
+					return err
+				}
+				if ps.event.Type == traffic.TrafficType {
+					p.system.noteTraffic(ps.event)
+				}
+				fed++
+			} else {
+				kept = append(kept, ps)
+			}
+		}
+		p.pending = kept
+		rep, err := p.system.evaluate(ctx, q, fed, false)
+		if err != nil {
+			return err
+		}
+		p.due = append(p.due, streams.Item{itemReport: rep})
+	}
+	return nil
+}
+
+// Run executes the pipeline and returns the reports in query-time
+// order.
+func (p *Pipeline) Run(ctx context.Context) ([]*Report, error) {
+	if err := p.Topology.Run(ctx); err != nil {
+		return nil, err
+	}
+	items := p.Reports.Items()
+	reports := make([]*Report, 0, len(items))
+	for _, it := range items {
+		rep, ok := it[itemReport].(*Report)
+		if !ok {
+			return nil, fmt.Errorf("insight: malformed report item %v", it)
+		}
+		reports = append(reports, rep)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Q < reports[j].Q })
+	return reports, nil
+}

@@ -1,0 +1,326 @@
+package insight
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/insight-dublin/insight/crowd"
+	"github.com/insight-dublin/insight/crowd/qee"
+	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// Alert is one operator-facing notification.
+type Alert struct {
+	Time Time
+	Kind string // e.g. "congestion", "delayIncrease", "sourceDisagreement"
+	Key  string // intersection, area or bus
+	Text string
+}
+
+// CrowdResolution records one crowdsourcing round.
+type CrowdResolution struct {
+	Intersection string
+	QueryTime    Time
+	Queried      int
+	Verdict      crowd.Verdict
+	// Event is the crowd SDE injected back into the CEP component.
+	Event rtec.Event
+}
+
+// Report is the outcome of one query-time evaluation of the whole
+// system: what the city operator sees on the dashboard.
+type Report struct {
+	Q      Time
+	Window rtec.Span
+	// CongestedIntersections lists intersections where
+	// scatsIntCongestion holds at Q.
+	CongestedIntersections []string
+	// BusCongestionAreas lists areas where busCongestion holds at Q.
+	BusCongestionAreas []string
+	// Disagreements lists intersections where sourceDisagreement
+	// holds at Q.
+	Disagreements []string
+	// CongestionWarnings lists sensors where congestionInTheMake
+	// holds at Q — elevated, still-rising density that has not yet
+	// crossed the congestion thresholds (the paper's proactive
+	// monitoring motivation).
+	CongestionWarnings []string
+	// UnusualCongestion lists intersections congested outside the
+	// expected rush periods at Q — likely incidents.
+	UnusualCongestion []string
+	// NoisyBuses lists buses where noisy holds at Q.
+	NoisyBuses []string
+	// Alerts aggregates the operator notifications of this step.
+	Alerts []Alert
+	// CrowdRounds are the crowdsourcing resolutions triggered.
+	CrowdRounds []CrowdResolution
+	// Stats aggregates engine statistics across partitions.
+	Stats rtec.Stats
+	// FedEvents is the number of SDEs delivered this step.
+	FedEvents int
+	// Result is the merged cross-partition recognition result, for
+	// consumers that need the raw fluent intervals and derived events
+	// (e.g. accuracy scoring against ground truth). Not serialized.
+	Result *rtec.Result `json:"-"`
+}
+
+// Summary renders a one-line digest.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("Q=%d: %d SDEs, %d congested intersections, %d bus-congestion areas, %d disagreements, %d noisy buses, %d crowd rounds, %d alerts",
+		int64(r.Q), r.FedEvents, len(r.CongestedIntersections), len(r.BusCongestionAreas),
+		len(r.Disagreements), len(r.NoisyBuses), len(r.CrowdRounds), len(r.Alerts))
+}
+
+// Start prepares the system to stream SDEs occurring in [from, until).
+// It must be called before Step; Run does it automatically.
+func (s *System) Start(from, until Time) {
+	s.gen = s.city.Stream(from, until)
+	s.genDone = false
+	s.primed = true
+	s.next = nil
+	s.inbox = nil
+}
+
+// StartReplay primes the system with a pre-recorded stream (e.g. read
+// back from the CSV exports of package dublin) instead of the live
+// generator. The slice is copied; any order is accepted.
+func (s *System) StartReplay(sdes []dublin.SDE) {
+	s.gen = nil
+	s.genDone = true
+	s.primed = true
+	s.next = nil
+	s.inbox = append([]dublin.SDE(nil), sdes...)
+}
+
+// Step feeds everything that has arrived by q, evaluates the CE
+// engines, runs the crowdsourcing loop on fresh disagreements and
+// returns the operator report.
+func (s *System) Step(ctx context.Context, q Time) (*Report, error) {
+	if !s.primed {
+		return nil, fmt.Errorf("insight: Step before Start or StartReplay")
+	}
+	fed, err := s.feed(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.evaluate(ctx, q, fed, true)
+}
+
+// evaluate queries the engines at q and assembles the report. When
+// resolve is set the crowdsourcing loop runs inline; the streams
+// pipeline passes false and runs it in a dedicated crowd processor
+// instead (Section 3's "crowdsourcing processes").
+func (s *System) evaluate(ctx context.Context, q Time, fed int, resolve bool) (*Report, error) {
+	results, err := s.engines.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	merged := rtec.MergeResults(results)
+
+	rep := &Report{Q: q, Window: merged.Window, Stats: merged.Stats, FedEvents: fed, Result: merged}
+	rep.CongestedIntersections = holdingKeys(merged, traffic.ScatsIntCongestion, q)
+	rep.BusCongestionAreas = holdingKeys(merged, traffic.BusCongestion, q)
+	rep.Disagreements = holdingKeys(merged, traffic.SourceDisagreement, q)
+	rep.NoisyBuses = holdingKeys(merged, traffic.Noisy, q)
+	rep.CongestionWarnings = holdingKeys(merged, traffic.CongestionInMake, q)
+	rep.UnusualCongestion = holdingKeys(merged, traffic.UnusualCongestion, q)
+
+	for _, in := range rep.UnusualCongestion {
+		rep.Alerts = append(rep.Alerts, Alert{
+			Time: q, Kind: traffic.UnusualCongestion, Key: in,
+			Text: fmt.Sprintf("congestion at %s OUTSIDE rush hours — possible incident", in),
+		})
+	}
+	for _, sensor := range rep.CongestionWarnings {
+		rep.Alerts = append(rep.Alerts, Alert{
+			Time: q, Kind: traffic.CongestionInMake, Key: sensor,
+			Text: fmt.Sprintf("density rising at sensor %s — congestion in the make", sensor),
+		})
+	}
+	for _, in := range rep.CongestedIntersections {
+		rep.Alerts = append(rep.Alerts, Alert{
+			Time: q, Kind: "congestion", Key: in,
+			Text: fmt.Sprintf("SCATS intersection %s congested", in),
+		})
+	}
+	for _, ev := range merged.Fresh {
+		switch ev.Type {
+		case traffic.DelayIncrease:
+			growth, _ := ev.Int("delayGrowth")
+			rep.Alerts = append(rep.Alerts, Alert{
+				Time: ev.Time, Kind: traffic.DelayIncrease, Key: ev.Key,
+				Text: fmt.Sprintf("bus %s delay grew by %d s (possible congestion in-the-make)", ev.Key, growth),
+			})
+		case traffic.Disagree:
+			bus, _ := ev.Str("bus")
+			rep.Alerts = append(rep.Alerts, Alert{
+				Time: ev.Time, Kind: traffic.Disagree, Key: ev.Key,
+				Text: fmt.Sprintf("bus %s disagrees with SCATS at %s", bus, ev.Key),
+			})
+		}
+	}
+
+	if resolve && s.qeeEngine != nil {
+		rounds, err := s.resolveDisagreements(ctx, q, merged)
+		if err != nil {
+			return nil, err
+		}
+		rep.CrowdRounds = rounds
+	}
+	return rep, nil
+}
+
+// resolveDisagreements runs one crowdsourcing round per intersection
+// with a fresh disagree event: selects participants near the
+// intersection, executes the MapReduce query, fuses the answers with
+// online EM, feeds the verdict back as a crowd SDE, and reports it.
+func (s *System) resolveDisagreements(ctx context.Context, q Time, merged *rtec.Result) ([]CrowdResolution, error) {
+	seen := make(map[string]bool)
+	var rounds []CrowdResolution
+	for _, ev := range merged.Fresh {
+		if ev.Type != traffic.Disagree || seen[ev.Key] {
+			continue
+		}
+		// Only near-live disagreements are worth asking about: "we
+		// can no longer ask questions about an event when it is over"
+		// (Section 5.2).
+		if q-ev.Time > s.cfg.Step {
+			continue
+		}
+		seen[ev.Key] = true
+		inter, ok := s.registry.Lookup(ev.Key)
+		if !ok {
+			continue
+		}
+		selected := s.cfg.CrowdSelection(s.roster.Online(), inter.Pos)
+		if len(selected) == 0 {
+			continue
+		}
+		// The CE component supplies the prior (Section 5.1): skew it
+		// by what the disagreeing bus claimed.
+		prior := []float64{0.5, 0.5}
+		if v, _ := ev.Str("value"); v == traffic.Positive {
+			prior = []float64{0.6, 0.4}
+		} else {
+			prior = []float64{0.4, 0.6}
+		}
+		query := qee.Query{
+			ID:       queryTimeID(ev.Key, q),
+			Question: fmt.Sprintf("Is there a traffic congestion at intersection %s?", ev.Key),
+			Answers:  []string{traffic.Positive, traffic.Negative},
+			Pos:      inter.Pos,
+			Deadline: s.cfg.CrowdDeadline,
+		}
+		exec, err := s.qeeEngine.Execute(ctx, query, selected)
+		if err != nil {
+			return nil, err
+		}
+		if len(exec.Answers) == 0 {
+			continue // everyone missed the deadline
+		}
+		verdict, err := s.estimator.Process(exec.Task(prior))
+		if err != nil {
+			return nil, err
+		}
+		// happensAt(crowd(LonInt, LatInt, Val), T): inject the verdict
+		// back. It is stamped one second after Q so it arrives for the
+		// NEXT window, like a real asynchronous crowd response.
+		crowdEv := traffic.CrowdVerdict(q+1, ev.Key, verdict.Best)
+		crowdEv.Attrs["lon"] = inter.Pos.Lon
+		crowdEv.Attrs["lat"] = inter.Pos.Lat
+		if err := s.engines.Input(crowdEv); err != nil {
+			return nil, err
+		}
+		// The traffic modelling component can also use the verdict to
+		// resolve sparsity (Section 2): remember it as a congestion
+		// pseudo-reading for FlowMap.
+		if v, ok := s.interVertex[ev.Key]; ok {
+			s.lastCrowd[ev.Key] = crowdReading{
+				vertex:    v,
+				congested: verdict.Best == traffic.Positive,
+				t:         q,
+			}
+		}
+		rounds = append(rounds, CrowdResolution{
+			Intersection: ev.Key,
+			QueryTime:    q,
+			Queried:      len(selected),
+			Verdict:      verdict,
+			Event:        crowdEv,
+		})
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i].Intersection < rounds[j].Intersection })
+	return rounds, nil
+}
+
+// Run evaluates the system at the regular query times from+Step,
+// from+2·Step, ..., until, calling fn with each report.
+func (s *System) Run(ctx context.Context, from, until Time, fn func(*Report) error) error {
+	s.Start(from, until)
+	for q := from + s.cfg.Step; q <= until; q += s.cfg.Step {
+		rep, err := s.Step(ctx, q)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(rep); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunReplay is Run over a pre-recorded stream: it evaluates at the
+// regular query times from+Step, ..., until, feeding the recorded SDEs
+// by their arrival times.
+func (s *System) RunReplay(ctx context.Context, sdes []dublin.SDE, from, until Time, fn func(*Report) error) error {
+	s.StartReplay(sdes)
+	for q := from + s.cfg.Step; q <= until; q += s.cfg.Step {
+		rep, err := s.Step(ctx, q)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(rep); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func holdingKeys(r *rtec.Result, fluent string, q Time) []string {
+	var out []string
+	for kv, l := range r.Fluents[fluent] {
+		if kv.Value == rtec.TrueValue && l.Contains(q) {
+			out = append(out, kv.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, r.Summary())
+	for _, a := range r.Alerts {
+		fmt.Fprintf(&b, "  [%s] t=%d %s\n", a.Kind, int64(a.Time), a.Text)
+	}
+	for _, c := range r.CrowdRounds {
+		fmt.Fprintf(&b, "  [crowd] %s: %q (confidence %.2f, %d participants)\n",
+			c.Intersection, c.Verdict.Best, c.Verdict.Confidence, c.Queried)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package rtec
+
+import (
+	"github.com/insight-dublin/insight/interval"
+)
+
+// List is the maximal-interval list type (alias of interval.List).
+type List = interval.List
+
+// Span is a half-open time span (alias of interval.Span).
+type Span = interval.Span
+
+// Context is the window snapshot a rule evaluates against. It exposes
+// the SDEs and lower-stratum derived events inside the working memory,
+// and the maximal intervals of lower-stratum fluents. Lookups outside
+// the window return no data, mirroring RTEC's discarding of SDEs that
+// took place before or on Q−WM.
+//
+// The interval lists returned by Intervals and friends may extend to
+// the end of the window horizon for fluents that are still open at the
+// query time; they are clipped in the engine's Result.
+type Context struct {
+	window Span // [Q-WM+1, Q+1)
+	q      Time
+
+	events  map[string][]Event            // by type, time-sorted
+	byKey   map[string]map[string][]Event // type -> key -> time-sorted events
+	fluents map[string]map[KV]List        // name -> instance -> maximal intervals
+}
+
+func newContext(q Time, window Span) *Context {
+	return &Context{
+		q:       q,
+		window:  window,
+		events:  make(map[string][]Event),
+		byKey:   make(map[string]map[string][]Event),
+		fluents: make(map[string]map[KV]List),
+	}
+}
+
+// Window returns the working-memory span [Q−WM+1, Q+1).
+func (c *Context) Window() Span { return c.window }
+
+// QueryTime returns the current query time Q.
+func (c *Context) QueryTime() Time { return c.q }
+
+// Events returns the time-sorted occurrences of an event type inside
+// the window. The returned slice is shared; do not modify.
+func (c *Context) Events(typ string) []Event { return c.events[typ] }
+
+// EventsForKey returns the time-sorted occurrences of an event type
+// for one entity key. The returned slice is shared; do not modify.
+func (c *Context) EventsForKey(typ, key string) []Event {
+	m := c.byKey[typ]
+	if m == nil {
+		return nil
+	}
+	return m[key]
+}
+
+// EventKeys returns the distinct entity keys that have occurrences of
+// the event type inside the window, in unspecified order.
+func (c *Context) EventKeys(typ string) []string {
+	m := c.byKey[typ]
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Intervals returns holdsFor(Fluent(Key) = true, I): the maximal
+// intervals of a boolean fluent instance.
+func (c *Context) Intervals(fluent, key string) List {
+	return c.IntervalsValue(fluent, key, TrueValue)
+}
+
+// IntervalsValue returns holdsFor(Fluent(Key) = Value, I).
+func (c *Context) IntervalsValue(fluent, key, value string) List {
+	m := c.fluents[fluent]
+	if m == nil {
+		return nil
+	}
+	return m[KV{Key: key, Value: value}]
+}
+
+// FluentInstances returns every (Key, Value) instance of a fluent that
+// has at least one maximal interval in the window, with its intervals.
+// The returned map is shared; do not modify.
+func (c *Context) FluentInstances(fluent string) map[KV]List {
+	return c.fluents[fluent]
+}
+
+// HoldsAt reports holdsAt(Fluent(Key) = true, T).
+func (c *Context) HoldsAt(fluent, key string, t Time) bool {
+	return c.IntervalsValue(fluent, key, TrueValue).Contains(t)
+}
+
+// HoldsAtValue reports holdsAt(Fluent(Key) = Value, T).
+func (c *Context) HoldsAtValue(fluent, key, value string, t Time) bool {
+	return c.IntervalsValue(fluent, key, value).Contains(t)
+}
+
+// ValueAt returns the value V for which holdsAt(Fluent(Key)=V, T), if
+// any. Simple fluents hold at most one value at a time.
+func (c *Context) ValueAt(fluent, key string, t Time) (string, bool) {
+	for kv, l := range c.fluents[fluent] {
+		if kv.Key == key && l.Contains(t) {
+			return kv.Value, true
+		}
+	}
+	return "", false
+}
+
+// addEvent inserts a derived event so higher strata can read it.
+// Events must be added before the stratum that reads them is
+// evaluated; the engine guarantees this ordering.
+func (c *Context) addEvents(typ string, events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	sortEvents(events)
+	c.events[typ] = events
+	keyed := make(map[string][]Event)
+	for _, e := range events {
+		keyed[e.Key] = append(keyed[e.Key], e)
+	}
+	c.byKey[typ] = keyed
+}
+
+func (c *Context) setFluent(name string, instances map[KV]List) {
+	c.fluents[name] = instances
+}

@@ -1,0 +1,393 @@
+package rtec
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/insight-dublin/insight/interval"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// WorkingMemory (WM) is the window length: at query time Q only
+	// SDEs in (Q−WM, Q] are considered. Must be positive.
+	WorkingMemory Time
+	// Step is the intended temporal distance between consecutive
+	// query times (Q_i − Q_{i−1}). It is advisory — Query takes the
+	// query time explicitly — but Run uses it, and making WM larger
+	// than Step is what lets delayed SDEs be incorporated (Fig. 2).
+	Step Time
+	// Profile makes every Query record per-rule evaluation times in
+	// Result.RuleCosts, for finding the expensive CE definitions.
+	Profile bool
+}
+
+// Engine is a windowed RTEC evaluator. It accumulates SDEs as they
+// arrive (possibly delayed and out of order) and computes, at each
+// query time, the maximal intervals of every defined fluent and the
+// occurrences of every derived event type within the working memory.
+//
+// An Engine is not safe for concurrent use; partition the stream over
+// several engines (see Partitioned) for parallel recognition.
+type Engine struct {
+	defs *Definitions
+	opts Options
+
+	pending []Event // received, not yet fallen out of every future window
+	lastQ   Time
+	started bool
+
+	// prev holds, per simple fluent, the un-clipped maximal interval
+	// lists from the previous query. They seed the law of inertia at
+	// the next window start.
+	prev map[string]map[KV]List
+
+	// seen tracks derived event instances already reported, for
+	// Result.Fresh. Pruned as instances fall out of the window.
+	seen map[derivedID]bool
+}
+
+type derivedID struct {
+	typ  string
+	key  string
+	time Time
+}
+
+// NewEngine builds an engine over a compiled definition set.
+func NewEngine(defs *Definitions, opts Options) (*Engine, error) {
+	if defs == nil {
+		return nil, fmt.Errorf("rtec: nil definitions")
+	}
+	if opts.WorkingMemory <= 0 {
+		return nil, fmt.Errorf("rtec: working memory must be positive, got %d", opts.WorkingMemory)
+	}
+	if opts.Step < 0 {
+		return nil, fmt.Errorf("rtec: step must be non-negative, got %d", opts.Step)
+	}
+	if opts.Step == 0 {
+		opts.Step = opts.WorkingMemory
+	}
+	return &Engine{
+		defs: defs,
+		opts: opts,
+		prev: make(map[string]map[KV]List),
+		seen: make(map[derivedID]bool),
+	}, nil
+}
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Input delivers SDEs to the engine. Events may arrive in any order
+// and with delays; an event participates in every query whose window
+// contains its occurrence time, provided it has arrived by then.
+// Events of undeclared types are rejected.
+func (e *Engine) Input(events ...Event) error {
+	for _, ev := range events {
+		if !e.defs.IsSDE(ev.Type) {
+			return fmt.Errorf("rtec: event type %q was not declared as an SDE", ev.Type)
+		}
+		if e.started && ev.Time <= e.lastQ-e.opts.WorkingMemory {
+			continue // too old to ever appear in a window again
+		}
+		e.pending = append(e.pending, ev)
+	}
+	return nil
+}
+
+// Result is the outcome of one query-time evaluation.
+type Result struct {
+	// Q is the query time and Window the working memory span
+	// [Q−WM+1, Q+1).
+	Q      Time
+	Window Span
+	// Fluents holds, per fluent name and instance, the maximal
+	// intervals clipped to the window.
+	Fluents map[string]map[KV]List
+	// Derived holds the derived events recognised in the window,
+	// per event type, time-sorted.
+	Derived map[string][]Event
+	// Fresh lists the derived events not reported by any earlier
+	// query, time-sorted — what a downstream consumer (e.g. the
+	// crowdsourcing component) should act on.
+	Fresh []Event
+	// Stats summarises the evaluation.
+	Stats Stats
+	// RuleCosts holds per-rule evaluation times when the engine runs
+	// with Options.Profile; nil otherwise.
+	RuleCosts map[string]time.Duration
+}
+
+// Stats summarises one evaluation.
+type Stats struct {
+	InputEvents   int           // SDEs inside the window
+	DerivedEvents int           // derived event instances recognised
+	FluentPeriods int           // maximal intervals across all fluents
+	Elapsed       time.Duration // wall-clock evaluation time
+}
+
+// HoldsAt reports whether a boolean fluent instance holds at t
+// according to this result.
+func (r *Result) HoldsAt(fluent, key string, t Time) bool {
+	m := r.Fluents[fluent]
+	if m == nil {
+		return false
+	}
+	return m[KV{Key: key, Value: TrueValue}].Contains(t)
+}
+
+// Intervals returns the clipped maximal intervals of a boolean fluent
+// instance in this result.
+func (r *Result) Intervals(fluent, key string) List {
+	m := r.Fluents[fluent]
+	if m == nil {
+		return nil
+	}
+	return m[KV{Key: key, Value: TrueValue}]
+}
+
+// Query evaluates all CE definitions at query time q. Query times must
+// be strictly increasing. SDEs that took place before or on q−WM are
+// discarded permanently (RTEC's windowing); everything inside the
+// window is recomputed from scratch, which is how delayed SDEs get
+// incorporated.
+func (e *Engine) Query(q Time) (*Result, error) {
+	if e.started && q <= e.lastQ {
+		return nil, fmt.Errorf("rtec: query times must increase (got %d after %d)", q, e.lastQ)
+	}
+	begin := time.Now()
+	wm := e.opts.WorkingMemory
+	windowStart := q - wm + 1
+	window := Span{Start: windowStart, End: q + 1}
+
+	// Discard SDEs at or before q−WM; hide SDEs after q (they have
+	// not happened yet from this query's standpoint).
+	kept := e.pending[:0]
+	var visible []Event
+	for _, ev := range e.pending {
+		if ev.Time <= q-wm {
+			continue
+		}
+		kept = append(kept, ev)
+		if ev.Time <= q {
+			visible = append(visible, ev)
+		}
+	}
+	e.pending = kept
+
+	ctx := newContext(q, window)
+	byType := make(map[string][]Event)
+	for _, ev := range visible {
+		byType[ev.Type] = append(byType[ev.Type], ev)
+	}
+	for typ, evs := range byType {
+		ctx.addEvents(typ, evs)
+	}
+
+	res := &Result{
+		Q:       q,
+		Window:  window,
+		Fluents: make(map[string]map[KV]List),
+		Derived: make(map[string][]Event),
+	}
+	newPrev := make(map[string]map[KV]List, len(e.prev))
+	if e.opts.Profile {
+		res.RuleCosts = make(map[string]time.Duration, len(e.defs.rules))
+	}
+
+	for i := range e.defs.rules {
+		rule := &e.defs.rules[i]
+		var ruleStart time.Time
+		if e.opts.Profile {
+			ruleStart = time.Now()
+		}
+		switch rule.kind {
+		case kindSimple:
+			full := evalSimpleFluent(rule.simple.Transitions(ctx), e.prev[rule.name], window, q)
+			ctx.setFluent(rule.name, full)
+			newPrev[rule.name] = full
+			res.Fluents[rule.name] = clipInstances(full, window)
+		case kindStatic:
+			inst := rule.static.HoldsFor(ctx)
+			norm := make(map[KV]List, len(inst))
+			for kv, l := range inst {
+				if kv.Value == "" {
+					kv.Value = TrueValue
+				}
+				if !l.Valid() {
+					l = interval.Normalize(l)
+				}
+				if len(l) > 0 {
+					norm[kv] = l
+				}
+			}
+			ctx.setFluent(rule.name, norm)
+			res.Fluents[rule.name] = clipInstances(norm, window)
+		case kindEvent:
+			evs := rule.event.Derive(ctx)
+			inWindow := evs[:0]
+			for _, ev := range evs {
+				if window.Contains(ev.Time) {
+					ev.Type = rule.name
+					inWindow = append(inWindow, ev)
+				}
+			}
+			ctx.addEvents(rule.name, inWindow)
+			res.Derived[rule.name] = inWindow
+		}
+		if e.opts.Profile {
+			res.RuleCosts[rule.name] += time.Since(ruleStart)
+		}
+	}
+
+	// Fresh derived events: not seen at any earlier query time.
+	var fresh []Event
+	for _, evs := range res.Derived {
+		for _, ev := range evs {
+			id := derivedID{typ: ev.Type, key: ev.Key, time: ev.Time}
+			if !e.seen[id] {
+				e.seen[id] = true
+				fresh = append(fresh, ev)
+			}
+		}
+	}
+	sortEvents(fresh)
+	res.Fresh = fresh
+	// Prune the seen set as instances fall out of reach.
+	for id := range e.seen {
+		if id.time <= q-wm {
+			delete(e.seen, id)
+		}
+	}
+
+	res.Stats.InputEvents = len(visible)
+	for _, evs := range res.Derived {
+		res.Stats.DerivedEvents += len(evs)
+	}
+	for _, m := range res.Fluents {
+		for _, l := range m {
+			res.Stats.FluentPeriods += len(l)
+		}
+	}
+	res.Stats.Elapsed = time.Since(begin)
+
+	e.prev = newPrev
+	e.lastQ = q
+	e.started = true
+	return res, nil
+}
+
+// Run evaluates at the regular query times start, start+Step,
+// start+2·Step, ... while until > query time, feeding each result to
+// the callback. It stops early if the callback returns an error.
+func (e *Engine) Run(start, until Time, fn func(*Result) error) error {
+	if e.opts.Step <= 0 {
+		return fmt.Errorf("rtec: Run requires a positive step")
+	}
+	for q := start; q <= until; q += e.opts.Step {
+		res, err := e.Query(q)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// evalSimpleFluent turns a rule's transition points into maximal
+// interval lists under inertia. prev seeds the value at the window
+// start; initiating one value of a fluent instance terminates every
+// other value at the same instant.
+func evalSimpleFluent(trans []Transition, prev map[KV]List, window Span, q Time) map[KV]List {
+	type pts struct {
+		ini []Time
+		ter []Time
+	}
+	groups := make(map[KV]*pts)
+	valuesByKey := make(map[string]map[string]bool)
+
+	note := func(kv KV) *pts {
+		g := groups[kv]
+		if g == nil {
+			g = &pts{}
+			groups[kv] = g
+			vs := valuesByKey[kv.Key]
+			if vs == nil {
+				vs = make(map[string]bool)
+				valuesByKey[kv.Key] = vs
+			}
+			vs[kv.Value] = true
+		}
+		return g
+	}
+
+	for _, tr := range trans {
+		if tr.Value == "" {
+			tr.Value = TrueValue
+		}
+		// Transitions must be observable in the window: the earliest
+		// effective point is windowStart−1 (whose effect begins at
+		// windowStart); anything after q cannot have been derived
+		// from window events.
+		if tr.Time < window.Start-1 || tr.Time > q {
+			continue
+		}
+		g := note(KV{Key: tr.Key, Value: tr.Value})
+		if tr.Kind == Initiate {
+			g.ini = append(g.ini, tr.Time)
+		} else {
+			g.ter = append(g.ter, tr.Time)
+		}
+	}
+
+	// Carry over instances holding at the window start (inertia
+	// across windows).
+	holdsAtStart := make(map[KV]bool)
+	for kv, l := range prev {
+		if l.Contains(window.Start) {
+			holdsAtStart[kv] = true
+			note(kv)
+		}
+	}
+
+	// An initiation of value V at T terminates every other value of
+	// the same key at T.
+	for key, vs := range valuesByKey {
+		if len(vs) < 2 {
+			continue
+		}
+		for v := range vs {
+			g := groups[KV{Key: key, Value: v}]
+			for other := range vs {
+				if other == v {
+					continue
+				}
+				og := groups[KV{Key: key, Value: other}]
+				g.ter = append(g.ter, og.ini...)
+			}
+		}
+	}
+
+	out := make(map[KV]List, len(groups))
+	for kv, g := range groups {
+		l := interval.FromTransitions(g.ini, g.ter, holdsAtStart[kv], window.Start, interval.MaxTime)
+		if len(l) > 0 {
+			out[kv] = l
+		}
+	}
+	return out
+}
+
+func clipInstances(full map[KV]List, window Span) map[KV]List {
+	out := make(map[KV]List, len(full))
+	for kv, l := range full {
+		if c := interval.Clip(l, window); len(c) > 0 {
+			out[kv] = c
+		}
+	}
+	return out
+}

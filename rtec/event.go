@@ -1,0 +1,128 @@
+// Package rtec is a native Go implementation of the Event Calculus for
+// Run-Time reasoning (RTEC) used as the complex event processing
+// component in Artikis et al., "Heterogeneous Stream Processing and
+// Crowdsourcing for Urban Traffic Management" (EDBT 2014).
+//
+// RTEC represents the occurrence of an event E at time T with
+// happensAt(E, T), the effects of events on fluents with
+// initiatedAt(F=V, T) and terminatedAt(F=V, T), and the state of
+// fluents with holdsAt(F=V, T) and holdsFor(F=V, I), where I is a list
+// of maximal intervals (Table 1 of the paper). Time is linear and
+// discrete. Simple fluents obey the law of inertia: once initiated
+// they hold until terminated. Statically determined fluents are
+// defined by interval manipulation constructs (union_all,
+// intersect_all, relative_complement_all) over other fluents.
+//
+// Recognition is windowed: at each query time Q only the simple
+// derived events (SDEs) inside the working memory (Q-WM, Q] are
+// considered; everything older is discarded, so the cost of
+// recognition depends on the window size and not on the length of the
+// history. Because the window is usually larger than the step between
+// query times, SDEs that arrive late — after the query time they
+// occurred before — are still incorporated at the next query
+// (Figure 2 of the paper); everything strictly inside the window is
+// recomputed at each query time.
+//
+// The original RTEC is a Prolog program; this package keeps its
+// semantics but exposes them through Go values: events are typed
+// records with attribute maps, and CE definitions are Go functions
+// that derive events or fluent transitions from a window Context.
+// Definitions must form an acyclic dependency graph; the engine
+// stratifies them and evaluates bottom-up.
+package rtec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/insight-dublin/insight/interval"
+)
+
+// Time is a discrete time point (an alias of interval.Time).
+type Time = interval.Time
+
+// Event is an event instance: happensAt(Type(attributes...), Time).
+// Key names the principal entity the event is about (a bus ID, a
+// SCATS sensor ID, an intersection ID); the engine indexes events by
+// (Type, Key) so rules can join efficiently. Additional attributes
+// live in Attrs.
+type Event struct {
+	Type  string
+	Time  Time
+	Key   string
+	Attrs map[string]any
+}
+
+// NewEvent builds an event. The attrs map is used as-is (not copied).
+func NewEvent(typ string, t Time, key string, attrs map[string]any) Event {
+	return Event{Type: typ, Time: t, Key: key, Attrs: attrs}
+}
+
+// Get returns a raw attribute and whether it was present.
+func (e Event) Get(name string) (any, bool) {
+	v, ok := e.Attrs[name]
+	return v, ok
+}
+
+// Float returns a float64 attribute. Missing or differently-typed
+// attributes yield (0, false). Integer attributes are converted.
+func (e Event) Float(name string) (float64, bool) {
+	switch v := e.Attrs[name].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// Int returns an int64 attribute. Missing or differently-typed
+// attributes yield (0, false). Float attributes are truncated.
+func (e Event) Int(name string) (int64, bool) {
+	switch v := e.Attrs[name].(type) {
+	case int64:
+		return v, true
+	case int:
+		return int64(v), true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+// Str returns a string attribute.
+func (e Event) Str(name string) (string, bool) {
+	v, ok := e.Attrs[name].(string)
+	return v, ok
+}
+
+// Bool returns a boolean attribute.
+func (e Event) Bool(name string) (bool, bool) {
+	v, ok := e.Attrs[name].(bool)
+	return v, ok
+}
+
+// String renders the event as "type(key)@time".
+func (e Event) String() string {
+	return fmt.Sprintf("%s(%s)@%d", e.Type, e.Key, int64(e.Time))
+}
+
+// KV identifies a fluent instance for a given fluent name: the entity
+// Key and the fluent Value. The paper's fluents are written
+// F(args...) = V; here the args collapse into Key and V into Value.
+// TrueValue is the conventional value for boolean fluents.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// TrueValue is the fluent value used by boolean fluents (F = true).
+const TrueValue = "true"
+
+// sortEvents orders events by time, breaking ties by arrival order
+// (stable sort over the input ordering).
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+}

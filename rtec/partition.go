@@ -1,0 +1,141 @@
+package rtec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/insight-dublin/insight/interval"
+)
+
+// Partitioned runs several independent RTEC engines over a partition
+// of the input stream and evaluates them concurrently. The paper
+// distributes Dublin CE recognition over the four geographical areas
+// of the city — "each processor computed CEs concerning the SCATS
+// sensors of one of the four areas of Dublin as well as CEs concerning
+// the buses that go through that area" (Section 7.1).
+type Partitioned struct {
+	engines []*Engine
+	assign  func(Event) int
+}
+
+// NewPartitioned builds n engines sharing the (immutable) definition
+// set. assign maps each input event to a partition in [0, n); events
+// mapped outside that range are rejected by Input.
+func NewPartitioned(defs *Definitions, opts Options, n int, assign func(Event) int) (*Partitioned, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rtec: partition count must be positive, got %d", n)
+	}
+	if assign == nil {
+		return nil, fmt.Errorf("rtec: nil partition function")
+	}
+	p := &Partitioned{assign: assign}
+	for i := 0; i < n; i++ {
+		e, err := NewEngine(defs, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.engines = append(p.engines, e)
+	}
+	return p, nil
+}
+
+// NumPartitions returns the number of engines.
+func (p *Partitioned) NumPartitions() int { return len(p.engines) }
+
+// Engine returns the i-th partition engine (for inspection; do not
+// drive it directly while using the Partitioned wrapper concurrently).
+func (p *Partitioned) Engine(i int) *Engine { return p.engines[i] }
+
+// Input routes events to their partitions.
+func (p *Partitioned) Input(events ...Event) error {
+	for _, ev := range events {
+		i := p.assign(ev)
+		if i < 0 || i >= len(p.engines) {
+			return fmt.Errorf("rtec: event %v assigned to invalid partition %d", ev, i)
+		}
+		if err := p.engines[i].Input(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query evaluates every partition at query time q, concurrently, and
+// returns the per-partition results in partition order.
+func (p *Partitioned) Query(q Time) ([]*Result, error) {
+	results := make([]*Result, len(p.engines))
+	errs := make([]error, len(p.engines))
+	var wg sync.WaitGroup
+	for i, e := range p.engines {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			results[i], errs[i] = e.Query(q)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// MergeResults combines per-partition results for the same query time
+// into a single view: fluent instances and derived events are unioned.
+// Instances recognised in several partitions (which should not happen
+// with a consistent partition function) have their intervals unioned.
+func MergeResults(results []*Result) *Result {
+	if len(results) == 0 {
+		return nil
+	}
+	out := &Result{
+		Q:       results[0].Q,
+		Window:  results[0].Window,
+		Fluents: make(map[string]map[KV]List),
+		Derived: make(map[string][]Event),
+	}
+	for _, r := range results {
+		for name, insts := range r.Fluents {
+			m := out.Fluents[name]
+			if m == nil {
+				m = make(map[KV]List, len(insts))
+				out.Fluents[name] = m
+			}
+			for kv, l := range insts {
+				if existing, ok := m[kv]; ok {
+					m[kv] = interval.Union(existing, l)
+				} else {
+					m[kv] = l
+				}
+			}
+		}
+		for typ, evs := range r.Derived {
+			out.Derived[typ] = append(out.Derived[typ], evs...)
+		}
+		out.Fresh = append(out.Fresh, r.Fresh...)
+		out.Stats.InputEvents += r.Stats.InputEvents
+		out.Stats.DerivedEvents += r.Stats.DerivedEvents
+		out.Stats.FluentPeriods += r.Stats.FluentPeriods
+		if r.Stats.Elapsed > out.Stats.Elapsed {
+			out.Stats.Elapsed = r.Stats.Elapsed // parallel: max, not sum
+		}
+		// Rule costs are total work per rule, summed across
+		// partitions (unlike Elapsed, which is parallel wall time).
+		if r.RuleCosts != nil {
+			if out.RuleCosts == nil {
+				out.RuleCosts = make(map[string]time.Duration, len(r.RuleCosts))
+			}
+			for name, d := range r.RuleCosts {
+				out.RuleCosts[name] += d
+			}
+		}
+	}
+	for typ := range out.Derived {
+		sortEvents(out.Derived[typ])
+	}
+	sortEvents(out.Fresh)
+	return out
+}

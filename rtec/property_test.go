@@ -1,0 +1,76 @@
+package rtec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property: with no delayed deliveries, consecutive overlapping
+// windows agree on the fluent state over their overlap. Windowing may
+// only change answers because of SDEs falling out of the window or
+// arriving late — never for time points both windows fully observe.
+func TestOverlapConsistencyProperty(t *testing.T) {
+	defs := onOffDefs(t)
+	const (
+		wm   = Time(200)
+		step = Time(50) // windows overlap by 150
+		span = Time(1000)
+	)
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		e, err := NewEngine(defs, Options{WorkingMemory: wm, Step: step})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random scenario over a handful of keys.
+		var events []Event
+		for i := 0; i < 120; i++ {
+			typ := "on"
+			if rng.Intn(2) == 0 {
+				typ = "off"
+			}
+			events = append(events, ev(typ, Time(rng.Int63n(int64(span))), fmt.Sprintf("k%d", rng.Intn(4))))
+		}
+		if err := e.Input(events...); err != nil {
+			t.Fatal(err)
+		}
+
+		type snapshot map[KV]List
+		var prev snapshot
+		var prevQ Time
+		for q := step; q <= span; q += step {
+			res, err := e.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := snapshot(res.Fluents["power"])
+			if prev != nil {
+				// Overlap of the reported windows: both clipped views
+				// cover [q-wm+1, prevQ+1).
+				lo, hi := q-wm+1, prevQ+1
+				if lo < prevQ-wm+1 {
+					lo = prevQ - wm + 1
+				}
+				keys := map[KV]bool{}
+				for kv := range prev {
+					keys[kv] = true
+				}
+				for kv := range cur {
+					keys[kv] = true
+				}
+				for kv := range keys {
+					for tp := lo; tp < hi; tp++ {
+						a := prev[kv].Contains(tp)
+						b := cur[kv].Contains(tp)
+						if a != b {
+							t.Fatalf("trial %d: %v at t=%d: window@%d says %v, window@%d says %v",
+								trial, kv, tp, prevQ, a, q, b)
+						}
+					}
+				}
+			}
+			prev, prevQ = cur, q
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package streams_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/insight-dublin/insight/streams"
+)
+
+// A data-flow graph declared in the XML language of the Streams
+// framework (Section 3 of the paper), with the standard processor
+// library, run over an in-memory stream.
+func Example() {
+	const flowDefinition = `
+<application>
+  <queue id="clean" capacity="16"/>
+  <process id="ingest" input="raw" output="clean">
+    <processor class="drop-missing" key="flow"/>
+    <processor class="rename" from="flow" to="vehiclesPerHour"/>
+    <processor class="set" key="city" value="dublin"/>
+  </process>
+  <process id="deliver" input="clean" output="out"/>
+</application>`
+
+	reg := streams.NewRegistry()
+	if err := streams.RegisterStdProcessors(reg); err != nil {
+		log.Fatal(err)
+	}
+	top := streams.NewTopology()
+	if err := top.AddStream("raw", streams.NewSliceSource(
+		streams.Item{"sensor": "scats0001", "flow": 850.0},
+		streams.Item{"sensor": "scats0002"}, // missing reading: dropped
+		streams.Item{"sensor": "scats0003", "flow": 320.0},
+	)); err != nil {
+		log.Fatal(err)
+	}
+	sink := streams.NewCollectorSink()
+	if err := top.AddSink("out", sink); err != nil {
+		log.Fatal(err)
+	}
+	if err := streams.LoadXML(top, reg, strings.NewReader(flowDefinition)); err != nil {
+		log.Fatal(err)
+	}
+	if err := top.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range sink.Items() {
+		fmt.Printf("%s: %.0f veh/h (%s)\n",
+			it.String("sensor"), it.Float("vehiclesPerHour"), it.String("city"))
+	}
+	// Output:
+	// scats0001: 850 veh/h (dublin)
+	// scats0003: 320 veh/h (dublin)
+}

@@ -1,0 +1,264 @@
+package streams
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Process is a node of the data flow graph: it reads items from its
+// input, pipes each through its processor chain and writes the
+// surviving items to its output.
+type Process struct {
+	Name       string
+	Input      Source
+	Processors []Processor
+	Output     Sink // optional; nil discards
+}
+
+// ContextSource is an optional Source extension whose Read can be
+// interrupted by context cancellation; queues implement it so the
+// topology can unwind cleanly when a process fails.
+type ContextSource interface {
+	ReadContext(context.Context) (Item, bool)
+}
+
+// ContextSink is the Sink counterpart of ContextSource.
+type ContextSink interface {
+	WriteContext(context.Context, Item) error
+}
+
+// run pumps the process until its input is exhausted or the context
+// is cancelled.
+func (p *Process) run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		var it Item
+		var ok bool
+		if cs, isCtx := p.Input.(ContextSource); isCtx {
+			it, ok = cs.ReadContext(ctx)
+		} else {
+			it, ok = p.Input.Read()
+		}
+		if !ok {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return nil
+		}
+		var err error
+		for _, proc := range p.Processors {
+			it, err = proc.Process(it)
+			if err != nil {
+				return fmt.Errorf("streams: process %q: %w", p.Name, err)
+			}
+			if it == nil {
+				break
+			}
+		}
+		if it == nil || p.Output == nil {
+			continue
+		}
+		if cs, isCtx := p.Output.(ContextSink); isCtx {
+			err = cs.WriteContext(ctx, it)
+		} else {
+			err = p.Output.Write(it)
+		}
+		if err != nil {
+			return fmt.Errorf("streams: process %q output: %w", p.Name, err)
+		}
+	}
+}
+
+// Topology is a compiled data flow graph: named streams, queues,
+// services and the processes connecting them.
+type Topology struct {
+	mu        sync.Mutex
+	sources   map[string]Source
+	queues    map[string]*Queue
+	sinks     map[string]Sink
+	services  map[string]Service
+	processes []*Process
+	// writers counts the processes writing into each queue so the
+	// topology can close a queue when its last producer finishes.
+	writers map[*Queue]int
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		sources:  make(map[string]Source),
+		queues:   make(map[string]*Queue),
+		sinks:    make(map[string]Sink),
+		services: make(map[string]Service),
+		writers:  make(map[*Queue]int),
+	}
+}
+
+// AddStream registers an input stream under an id.
+func (t *Topology) AddStream(id string, s Source) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.sources[id]; dup {
+		return fmt.Errorf("streams: duplicate stream %q", id)
+	}
+	t.sources[id] = s
+	return nil
+}
+
+// AddQueue creates a named queue.
+func (t *Topology) AddQueue(id string, capacity int) (*Queue, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.queues[id]; dup {
+		return nil, fmt.Errorf("streams: duplicate queue %q", id)
+	}
+	q := NewQueue(capacity)
+	t.queues[id] = q
+	return q, nil
+}
+
+// Queue returns a queue by id.
+func (t *Topology) Queue(id string) (*Queue, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	q, ok := t.queues[id]
+	return q, ok
+}
+
+// AddSink registers an output sink under an id.
+func (t *Topology) AddSink(id string, s Sink) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.sinks[id]; dup {
+		return fmt.Errorf("streams: duplicate sink %q", id)
+	}
+	t.sinks[id] = s
+	return nil
+}
+
+// RegisterService stores a named service.
+func (t *Topology) RegisterService(id string, s Service) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.services[id]; dup {
+		return fmt.Errorf("streams: duplicate service %q", id)
+	}
+	t.services[id] = s
+	return nil
+}
+
+// LookupService retrieves a named service.
+func (t *Topology) LookupService(id string) (Service, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.services[id]
+	return s, ok
+}
+
+// resolveSource finds a stream or queue by id.
+func (t *Topology) resolveSource(id string) (Source, bool) {
+	if s, ok := t.sources[id]; ok {
+		return s, true
+	}
+	if q, ok := t.queues[id]; ok {
+		return q, true
+	}
+	return nil, false
+}
+
+// resolveSink finds a queue or sink by id.
+func (t *Topology) resolveSink(id string) (Sink, bool) {
+	if q, ok := t.queues[id]; ok {
+		return q, true
+	}
+	if s, ok := t.sinks[id]; ok {
+		return s, true
+	}
+	return nil, false
+}
+
+// AddProcess wires a process between the named input (stream or
+// queue) and the named output (queue or sink; "" for none).
+func (t *Topology) AddProcess(name, inputID, outputID string, processors ...Processor) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	in, ok := t.resolveSource(inputID)
+	if !ok {
+		return fmt.Errorf("streams: process %q: unknown input %q", name, inputID)
+	}
+	var out Sink
+	if outputID != "" {
+		out, ok = t.resolveSink(outputID)
+		if !ok {
+			return fmt.Errorf("streams: process %q: unknown output %q", name, outputID)
+		}
+	}
+	p := &Process{Name: name, Input: in, Processors: processors, Output: out}
+	t.processes = append(t.processes, p)
+	if q, isQueue := out.(*Queue); isQueue {
+		t.writers[q]++
+	}
+	return nil
+}
+
+// Run executes the data flow graph: one goroutine per process, until
+// every input stream is exhausted (queues are closed as their last
+// producers finish, which cascades shutdown through the graph) or the
+// context is cancelled. It returns the first process error, if any.
+func (t *Topology) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	t.mu.Lock()
+	processes := append([]*Process(nil), t.processes...)
+	writers := make(map[*Queue]*sync.WaitGroup, len(t.writers))
+	for q, n := range t.writers {
+		wg := &sync.WaitGroup{}
+		wg.Add(n)
+		writers[q] = wg
+		go func(q *Queue, wg *sync.WaitGroup) {
+			wg.Wait()
+			q.Close()
+		}(q, wg)
+	}
+	// Queues nobody writes to would block their readers forever:
+	// close them immediately.
+	for _, q := range t.queues {
+		if _, hasWriter := writers[q]; !hasWriter {
+			q.Close()
+		}
+	}
+	t.mu.Unlock()
+
+	errs := make(chan error, len(processes))
+	var wg sync.WaitGroup
+	for _, p := range processes {
+		wg.Add(1)
+		go func(p *Process) {
+			defer wg.Done()
+			err := p.run(ctx)
+			if q, isQueue := p.Output.(*Queue); isQueue {
+				writers[q].Done()
+			}
+			if err != nil {
+				errs <- err
+				cancel() // unwind the rest of the graph
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	// Prefer the root-cause error over cancellations it induced.
+	var first error
+	for err := range errs {
+		if first == nil || (errors.Is(first, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,56 @@
+package traffic_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// Recognising the paper's congestion and disagreement CEs over a
+// scripted scenario: SCATS says free flow while a bus insists on
+// congestion.
+func Example() {
+	bridge := geo.At(53.3471, -6.2621)
+	registry, err := traffic.NewRegistry([]traffic.Intersection{
+		{ID: "oconnell-bridge", Pos: bridge, Sensors: []string{"s1"}},
+	}, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defs, err := traffic.Build(traffic.Config{Registry: registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := rtec.NewEngine(defs, rtec.Options{WorkingMemory: 900})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := engine.Input(
+		// traffic(Int, A, S, D, F): low density, high flow — no congestion.
+		traffic.Traffic(60, "s1", "oconnell-bridge", "A1", 0.08, 1200),
+		// move + gps: the bus reports congestion right at the bridge.
+		traffic.Move(300, "bus33009", "r10", "DublinBus", 45, bridge, 0, true),
+	); err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Query(899)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("busCongestion:", res.Intervals(traffic.BusCongestion, "oconnell-bridge"))
+	fmt.Println("sourceDisagreement:", res.Intervals(traffic.SourceDisagreement, "oconnell-bridge"))
+	for _, d := range res.Derived[traffic.Disagree] {
+		bus, _ := d.Str("bus")
+		val, _ := d.Str("value")
+		fmt.Printf("disagree(%s, %s, %s) at t=%d\n", bus, d.Key, val, int64(d.Time))
+	}
+	// Output:
+	// busCongestion: [301, 900)
+	// sourceDisagreement: [301, 900)
+	// disagree(bus33009, oconnell-bridge, positive) at t=300
+}

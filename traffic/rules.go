@@ -1,0 +1,608 @@
+package traffic
+
+import (
+	"fmt"
+
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/interval"
+	"github.com/insight-dublin/insight/rtec"
+)
+
+// NoisyPolicy selects which formalisation of the noisy(Bus) fluent the
+// definition set uses.
+type NoisyPolicy int
+
+const (
+	// CrowdValidated is rule-set (4): a bus becomes unreliable only
+	// when it disagrees with the SCATS sensors AND the crowdsourced
+	// information confirms the sensors.
+	CrowdValidated NoisyPolicy = iota
+	// Pessimistic is rule-set (5): a bus becomes unreliable on any
+	// disagreement — "in the absence of information to the contrary,
+	// the SCATS sensors are considered more trustworthy than buses" —
+	// and is rehabilitated when the crowd proves it correct or when
+	// it agrees with some SCATS intersection.
+	Pessimistic
+)
+
+// Area is a non-SCATS location of interest for busCongestion: the
+// paper defines busCongestion(Lon, Lat) for arbitrary coordinates,
+// which "is very useful as there are numerous areas in the city that
+// do not have SCATS sensors".
+type Area struct {
+	ID  string
+	Pos geo.Point
+}
+
+// Config parameterizes the Dublin CE definition set.
+type Config struct {
+	// Registry holds the SCATS intersections. Required.
+	Registry *Registry
+
+	// ExtraAreas are additional areas of interest monitored by
+	// busCongestion beyond the SCATS intersections.
+	ExtraAreas []Area
+
+	// DensityThreshold is the upper_Density_threshold of rule-set
+	// (2): a sensor reading with density at or above it (and flow at
+	// or below FlowThreshold) initiates scatsCongestion. Density is
+	// an occupancy fraction in [0, 1]. Default 0.35.
+	DensityThreshold float64
+	// FlowThreshold is the lower_Flow_threshold of rule-set (2), in
+	// vehicles/hour. Default 600.
+	FlowThreshold float64
+	// MinCongestedSensors is the n of the intersection-congestion
+	// definition: an intersection is congested while at least n of
+	// its sensors are congested. Intersections with fewer than n
+	// sensors use all of them. Default 2.
+	MinCongestedSensors int
+	// StructuredIntersections switches scatsIntCongestion to the
+	// structured definition of Section 4.3: sensor congestion →
+	// approach congestion (any sensor of the approach) → intersection
+	// congestion (at least MinCongestedApproaches approaches). It also
+	// defines the scatsApproachCongestion fluent, keyed
+	// "intersection/approach".
+	StructuredIntersections bool
+	// MinCongestedApproaches is the approach threshold of the
+	// structured definition, capped by the approach count. Default 2.
+	MinCongestedApproaches int
+
+	// DelayIncreaseSeconds is the d of the delayIncrease CE: the
+	// minimum delay growth between two SDEs. Default 60.
+	DelayIncreaseSeconds int64
+	// DelayIncreaseWindow is the t of the delayIncrease CE: the two
+	// SDEs must be less than t seconds apart. Default 90.
+	DelayIncreaseWindow rtec.Time
+
+	// CrowdWindow is the threshold of rule-sets (4) and (5): the
+	// crowdsourced information is used to evaluate a bus only if it
+	// arrives within this period after the disagreement. Default 600.
+	CrowdWindow rtec.Time
+
+	// TrendEpsilon is the relative change between consecutive sensor
+	// readings above which a flow/density trend counts as rising or
+	// falling. Default 0.10.
+	TrendEpsilon float64
+	// PreCongestionDensity is the density above which a sensor with
+	// rising density counts as congestion in-the-make (while not yet
+	// congested). Default 0.20.
+	PreCongestionDensity float64
+	// RushHours are the daily periods (in hours, half-open) during
+	// which intersection congestion is EXPECTED; congestion outside
+	// them is recognised as unusualCongestion — the "unusual events
+	// throughout the network" the INSIGHT project targets. Default
+	// {{7, 10}, {16, 19}}.
+	RushHours [][2]float64
+
+	// NoisyPolicy selects rule-set (4) or (5). Default CrowdValidated.
+	NoisyPolicy NoisyPolicy
+	// Adaptive enables rule-set (3′): busCongestion discards reports
+	// from buses for which noisy currently holds.
+	Adaptive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DensityThreshold == 0 {
+		c.DensityThreshold = 0.35
+	}
+	if c.FlowThreshold == 0 {
+		c.FlowThreshold = 600
+	}
+	if c.MinCongestedSensors == 0 {
+		c.MinCongestedSensors = 2
+	}
+	if c.MinCongestedApproaches == 0 {
+		c.MinCongestedApproaches = 2
+	}
+	if c.DelayIncreaseSeconds == 0 {
+		c.DelayIncreaseSeconds = 60
+	}
+	if c.DelayIncreaseWindow == 0 {
+		c.DelayIncreaseWindow = 90
+	}
+	if c.CrowdWindow == 0 {
+		c.CrowdWindow = 600
+	}
+	if c.TrendEpsilon == 0 {
+		c.TrendEpsilon = 0.10
+	}
+	if c.PreCongestionDensity == 0 {
+		c.PreCongestionDensity = 0.20
+	}
+	if c.RushHours == nil {
+		c.RushHours = [][2]float64{{7, 10}, {16, 19}}
+	}
+	return c
+}
+
+// rushIntervals returns the absolute-time rush periods overlapping the
+// span (which may cross midnight boundaries).
+func rushIntervals(rush [][2]float64, span interval.Span) interval.List {
+	const day = rtec.Time(24 * 3600)
+	var out []interval.Span
+	firstDay := (span.Start / day) * day
+	if span.Start < 0 && span.Start%day != 0 {
+		firstDay -= day
+	}
+	for d := firstDay; d < span.End; d += day {
+		for _, r := range rush {
+			out = append(out, interval.Span{
+				Start: d + rtec.Time(r[0]*3600),
+				End:   d + rtec.Time(r[1]*3600),
+			})
+		}
+	}
+	return interval.Normalize(out)
+}
+
+// Build compiles the Dublin CE definition set for the configuration.
+func Build(cfg Config) (*rtec.Definitions, error) {
+	return BuildWith(cfg, nil)
+}
+
+// BuildWith compiles the Dublin CE definition set and lets the caller
+// register additional definitions on the same builder before
+// compilation — e.g. custom complex events layered over the library
+// fluents. The extension hook runs after every library definition has
+// been added.
+func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("traffic: Config.Registry is required")
+	}
+	reg := cfg.Registry
+
+	// Areas of interest for busCongestion: every SCATS intersection
+	// plus the configured extra areas, in one spatial index.
+	areaList := make([]Intersection, 0, len(reg.Intersections())+len(cfg.ExtraAreas))
+	areaList = append(areaList, reg.Intersections()...)
+	for _, a := range cfg.ExtraAreas {
+		areaList = append(areaList, Intersection{ID: a.ID, Pos: a.Pos})
+	}
+	areas, err := NewRegistry(areaList, reg.CloseMeters())
+	if err != nil {
+		return nil, fmt.Errorf("traffic: building area index: %w", err)
+	}
+
+	b := rtec.NewBuilder().DeclareSDE(MoveType, TrafficType, CrowdType)
+
+	// --- scatsCongestion: rule-set (2) --------------------------------
+	// initiatedAt when D >= upper_Density_threshold and
+	// F <= lower_Flow_threshold; terminatedAt when either bound is
+	// crossed back.
+	b.Simple(rtec.SimpleFluent{
+		Name:   ScatsCongestion,
+		Inputs: []string{TrafficType},
+		Transitions: func(ctx *rtec.Context) []rtec.Transition {
+			var out []rtec.Transition
+			for _, e := range ctx.Events(TrafficType) {
+				d, _ := e.Float("density")
+				f, _ := e.Float("flow")
+				if d >= cfg.DensityThreshold && f <= cfg.FlowThreshold {
+					out = append(out, rtec.InitiateAt(e.Key, e.Time))
+				} else {
+					out = append(out, rtec.TerminateAt(e.Key, e.Time))
+				}
+			}
+			return out
+		},
+	})
+
+	// --- scatsIntCongestion -------------------------------------------
+	// Flat definition: an intersection is congested while at least n
+	// of its sensors are congested (n capped by the sensor count, so
+	// single-sensor intersections remain coverable).
+	//
+	// Structured definition (Config.StructuredIntersections): sensor
+	// congestion → approach congestion (union of the approach's
+	// sensors) → intersection congestion (at least m approaches).
+	if cfg.StructuredIntersections {
+		b.Static(rtec.StaticFluent{
+			Name:   ScatsApproachCongestion,
+			Inputs: []string{ScatsCongestion},
+			HoldsFor: func(ctx *rtec.Context) map[rtec.KV]rtec.IntervalList {
+				out := make(map[rtec.KV]rtec.IntervalList)
+				for _, in := range reg.Intersections() {
+					for approach, sensors := range in.approaches() {
+						lists := make([]interval.List, 0, len(sensors))
+						for _, s := range sensors {
+							if l := ctx.Intervals(ScatsCongestion, s); len(l) > 0 {
+								lists = append(lists, l)
+							}
+						}
+						if u := interval.UnionAll(lists...); len(u) > 0 {
+							out[rtec.KV{Key: ApproachKey(in.ID, approach), Value: rtec.TrueValue}] = u
+						}
+					}
+				}
+				return out
+			},
+		})
+		b.Static(rtec.StaticFluent{
+			Name:   ScatsIntCongestion,
+			Inputs: []string{ScatsApproachCongestion},
+			HoldsFor: func(ctx *rtec.Context) map[rtec.KV]rtec.IntervalList {
+				out := make(map[rtec.KV]rtec.IntervalList)
+				for _, in := range reg.Intersections() {
+					approaches := in.approaches()
+					if len(approaches) == 0 {
+						continue
+					}
+					lists := make([]interval.List, 0, len(approaches))
+					for approach := range approaches {
+						if l := ctx.Intervals(ScatsApproachCongestion, ApproachKey(in.ID, approach)); len(l) > 0 {
+							lists = append(lists, l)
+						}
+					}
+					m := cfg.MinCongestedApproaches
+					if m > len(approaches) {
+						m = len(approaches)
+					}
+					if cov := interval.CoverageAtLeast(m, lists); len(cov) > 0 {
+						out[rtec.KV{Key: in.ID, Value: rtec.TrueValue}] = cov
+					}
+				}
+				return out
+			},
+		})
+	} else {
+		b.Static(rtec.StaticFluent{
+			Name:   ScatsIntCongestion,
+			Inputs: []string{ScatsCongestion},
+			HoldsFor: func(ctx *rtec.Context) map[rtec.KV]rtec.IntervalList {
+				out := make(map[rtec.KV]rtec.IntervalList)
+				for _, in := range reg.Intersections() {
+					if len(in.Sensors) == 0 {
+						continue
+					}
+					lists := make([]interval.List, 0, len(in.Sensors))
+					for _, s := range in.Sensors {
+						if l := ctx.Intervals(ScatsCongestion, s); len(l) > 0 {
+							lists = append(lists, l)
+						}
+					}
+					n := cfg.MinCongestedSensors
+					if n > len(in.Sensors) {
+						n = len(in.Sensors)
+					}
+					if cov := interval.CoverageAtLeast(n, lists); len(cov) > 0 {
+						out[rtec.KV{Key: in.ID, Value: rtec.TrueValue}] = cov
+					}
+				}
+				return out
+			},
+		})
+	}
+
+	// --- disagree / agree ----------------------------------------------
+	// disagree(Bus, LonInt, LatInt, Val) happens when a bus moves
+	// close to a SCATS intersection and contradicts its congestion
+	// state; agree(Bus) when it confirms it. Events are keyed by the
+	// intersection (the crowdsourcing join key) and carry the bus in
+	// an attribute.
+	deriveMatches := func(ctx *rtec.Context, wantDisagree bool) []rtec.Event {
+		var out []rtec.Event
+		for _, e := range ctx.Events(MoveType) {
+			pos, ok := eventPos(e)
+			if !ok {
+				continue
+			}
+			busSays, _ := e.Bool("congested")
+			for _, in := range reg.CloseTo(pos) {
+				scatsSays := ctx.HoldsAt(ScatsIntCongestion, in.ID, e.Time)
+				if busSays == scatsSays {
+					if !wantDisagree {
+						out = append(out, rtec.NewEvent(Agree, e.Time, e.Key, map[string]any{
+							"intersection": in.ID,
+						}))
+					}
+					continue
+				}
+				if wantDisagree {
+					val := Negative
+					if busSays {
+						val = Positive
+					}
+					out = append(out, rtec.NewEvent(Disagree, e.Time, in.ID, map[string]any{
+						"bus":   e.Key,
+						"value": val,
+						"lon":   in.Pos.Lon,
+						"lat":   in.Pos.Lat,
+					}))
+				}
+			}
+		}
+		return out
+	}
+	b.Event(rtec.EventRule{
+		Name:   Disagree,
+		Inputs: []string{MoveType, ScatsIntCongestion},
+		Derive: func(ctx *rtec.Context) []rtec.Event { return deriveMatches(ctx, true) },
+	})
+	b.Event(rtec.EventRule{
+		Name:   Agree,
+		Inputs: []string{MoveType, ScatsIntCongestion},
+		Derive: func(ctx *rtec.Context) []rtec.Event { return deriveMatches(ctx, false) },
+	})
+
+	// --- noisy: rule-sets (4) and (5) -----------------------------------
+	b.Simple(rtec.SimpleFluent{
+		Name:   Noisy,
+		Inputs: []string{Disagree, Agree, CrowdType},
+		Transitions: func(ctx *rtec.Context) []rtec.Transition {
+			var out []rtec.Transition
+			// Source agreement always rehabilitates.
+			for _, e := range ctx.Events(Agree) {
+				out = append(out, rtec.TerminateAt(e.Key, e.Time))
+			}
+			for _, d := range ctx.Events(Disagree) {
+				bus, _ := d.Str("bus")
+				busVal, _ := d.Str("value")
+				switch cfg.NoisyPolicy {
+				case Pessimistic:
+					// Rule-set (5): any disagreement initiates noisy.
+					out = append(out, rtec.InitiateAt(bus, d.Time))
+					for _, c := range ctx.EventsForKey(CrowdType, d.Key) {
+						crowdVal, _ := c.Str("value")
+						if dt := c.Time - d.Time; dt > 0 && dt < cfg.CrowdWindow && crowdVal == busVal {
+							// The crowd proves the bus correct:
+							// terminate at T′ (the crowd time).
+							out = append(out, rtec.TerminateAt(bus, c.Time))
+						}
+					}
+				default: // CrowdValidated, rule-set (4)
+					for _, c := range ctx.EventsForKey(CrowdType, d.Key) {
+						crowdVal, _ := c.Str("value")
+						dt := c.Time - d.Time
+						if dt <= 0 || dt >= cfg.CrowdWindow {
+							continue
+						}
+						if crowdVal != busVal {
+							out = append(out, rtec.InitiateAt(bus, d.Time))
+						} else {
+							out = append(out, rtec.TerminateAt(bus, d.Time))
+						}
+					}
+				}
+			}
+			return out
+		},
+	})
+
+	// --- busCongestion: rule-set (3), or (3′) when Adaptive ------------
+	busInputs := []string{MoveType}
+	if cfg.Adaptive {
+		busInputs = append(busInputs, Noisy)
+	}
+	b.Simple(rtec.SimpleFluent{
+		Name:   BusCongestion,
+		Inputs: busInputs,
+		Transitions: func(ctx *rtec.Context) []rtec.Transition {
+			var out []rtec.Transition
+			for _, e := range ctx.Events(MoveType) {
+				if cfg.Adaptive && ctx.HoldsAt(Noisy, e.Key, e.Time) {
+					continue // rule-set (3′): discard unreliable buses
+				}
+				pos, ok := eventPos(e)
+				if !ok {
+					continue
+				}
+				congested, _ := e.Bool("congested")
+				for _, a := range areas.CloseTo(pos) {
+					if congested {
+						out = append(out, rtec.InitiateAt(a.ID, e.Time))
+					} else {
+						out = append(out, rtec.TerminateAt(a.ID, e.Time))
+					}
+				}
+			}
+			return out
+		},
+	})
+
+	// --- sourceDisagreement ---------------------------------------------
+	// holdsFor(sourceDisagreement(Int)=true, I) ←
+	//   relative_complement_all(busCongestion(Int), [scatsIntCongestion(Int)]).
+	// Computed only for the locations of SCATS intersections.
+	b.Static(rtec.StaticFluent{
+		Name:   SourceDisagreement,
+		Inputs: []string{BusCongestion, ScatsIntCongestion},
+		HoldsFor: func(ctx *rtec.Context) map[rtec.KV]rtec.IntervalList {
+			out := make(map[rtec.KV]rtec.IntervalList)
+			for _, in := range reg.Intersections() {
+				busI := ctx.Intervals(BusCongestion, in.ID)
+				if len(busI) == 0 {
+					continue
+				}
+				scatsI := ctx.Intervals(ScatsIntCongestion, in.ID)
+				if d := interval.RelativeComplementAll(busI, []interval.List{scatsI}); len(d) > 0 {
+					out[rtec.KV{Key: in.ID, Value: rtec.TrueValue}] = d
+				}
+			}
+			return out
+		},
+	})
+
+	// --- delayIncrease ----------------------------------------------------
+	// Recognised when the delay of a bus grows by more than d seconds
+	// across two SDEs less than t seconds apart.
+	b.Event(rtec.EventRule{
+		Name:   DelayIncrease,
+		Inputs: []string{MoveType},
+		Derive: func(ctx *rtec.Context) []rtec.Event {
+			var out []rtec.Event
+			for _, bus := range ctx.EventKeys(MoveType) {
+				evs := ctx.EventsForKey(MoveType, bus)
+				for i := 1; i < len(evs); i++ {
+					prev, cur := evs[i-1], evs[i]
+					dt := cur.Time - prev.Time
+					if dt <= 0 || dt >= cfg.DelayIncreaseWindow {
+						continue
+					}
+					pd, _ := prev.Int("delay")
+					cd, _ := cur.Int("delay")
+					if cd-pd <= cfg.DelayIncreaseSeconds {
+						continue
+					}
+					fromLon, _ := prev.Float("lon")
+					fromLat, _ := prev.Float("lat")
+					toLon, _ := cur.Float("lon")
+					toLat, _ := cur.Float("lat")
+					out = append(out, rtec.NewEvent(DelayIncrease, cur.Time, bus, map[string]any{
+						"fromLon": fromLon, "fromLat": fromLat,
+						"toLon": toLon, "toLat": toLat,
+						"delayGrowth": cd - pd,
+					}))
+				}
+			}
+			return out
+		},
+	})
+
+	// --- flow / density trends ---------------------------------------------
+	// Multi-valued fluents per sensor: rising / falling / steady, from
+	// the relative change between consecutive readings.
+	//
+	// Window sizing: a trend derived from the reading pair (r1, r2)
+	// holds from r2+1 onward, so CEs that test the trend AT a reading
+	// time (e.g. congestionInTheMake) only fire when the working
+	// memory covers at least three readings of the sensor — WM must
+	// exceed twice the SCATS emission period (2 x 6 min in Dublin).
+	// This is the kind of WM tuning the paper leaves to the end user.
+	trend := func(name, attr string) rtec.SimpleFluent {
+		return rtec.SimpleFluent{
+			Name:   name,
+			Inputs: []string{TrafficType},
+			Transitions: func(ctx *rtec.Context) []rtec.Transition {
+				var out []rtec.Transition
+				for _, sensor := range ctx.EventKeys(TrafficType) {
+					evs := ctx.EventsForKey(TrafficType, sensor)
+					for i := 1; i < len(evs); i++ {
+						prev, _ := evs[i-1].Float(attr)
+						cur, _ := evs[i].Float(attr)
+						value := TrendSteady
+						switch {
+						case prev == 0 && cur > 0:
+							value = TrendRising
+						case prev == 0:
+							value = TrendSteady
+						case (cur-prev)/prev > cfg.TrendEpsilon:
+							value = TrendRising
+						case (cur-prev)/prev < -cfg.TrendEpsilon:
+							value = TrendFalling
+						}
+						out = append(out, rtec.Transition{
+							Kind: rtec.Initiate, Key: sensor, Value: value, Time: evs[i].Time,
+						})
+					}
+				}
+				return out
+			},
+		}
+	}
+	b.Simple(trend(FlowTrend, "flow"))
+	b.Simple(trend(DensityTrend, "density"))
+
+	// --- unusualCongestion ---------------------------------------------
+	// Intersection congestion outside the expected rush periods: the
+	// "unusual events throughout the network" INSIGHT's traffic
+	// managers want to detect with high certainty. Computed with the
+	// interval algebra: scatsIntCongestion minus the rush windows.
+	b.Static(rtec.StaticFluent{
+		Name:   UnusualCongestion,
+		Inputs: []string{ScatsIntCongestion},
+		HoldsFor: func(ctx *rtec.Context) map[rtec.KV]rtec.IntervalList {
+			rush := rushIntervals(cfg.RushHours, ctx.Window())
+			out := make(map[rtec.KV]rtec.IntervalList)
+			for kv, congested := range ctx.FluentInstances(ScatsIntCongestion) {
+				if u := interval.RelativeComplement(congested, rush); len(u) > 0 {
+					out[kv] = u
+				}
+			}
+			return out
+		},
+	})
+
+	// --- congestionInTheMake ---------------------------------------------
+	// The proactive CE of the paper's motivation: "an urban monitoring
+	// system that identifies traffic congestions (in-the-make) and
+	// (proactively) changes traffic light priorities and speed limits"
+	// (Section 1). A sensor is heading into congestion while its
+	// density is already elevated and still rising, but the congestion
+	// thresholds have not been crossed yet.
+	b.Simple(rtec.SimpleFluent{
+		Name:   CongestionInMake,
+		Inputs: []string{TrafficType, DensityTrend},
+		Transitions: func(ctx *rtec.Context) []rtec.Transition {
+			var out []rtec.Transition
+			for _, e := range ctx.Events(TrafficType) {
+				d, _ := e.Float("density")
+				f, _ := e.Float("flow")
+				congested := d >= cfg.DensityThreshold && f <= cfg.FlowThreshold
+				rising := ctx.HoldsAtValue(DensityTrend, e.Key, TrendRising, e.Time)
+				if !congested && rising && d >= cfg.PreCongestionDensity {
+					out = append(out, rtec.InitiateAt(e.Key, e.Time))
+				} else {
+					out = append(out, rtec.TerminateAt(e.Key, e.Time))
+				}
+			}
+			return out
+		},
+	})
+
+	// --- noisyScats (extension) ---------------------------------------------
+	// Crowd-based SCATS reliability: "Given the crowdsourced
+	// information, we can also evaluate the reliability of SCATS
+	// sensors" (end of Section 4.3). An intersection's sensor set is
+	// considered noisy while the crowd contradicts it.
+	b.Simple(rtec.SimpleFluent{
+		Name:   NoisyScats,
+		Inputs: []string{CrowdType, ScatsIntCongestion},
+		Transitions: func(ctx *rtec.Context) []rtec.Transition {
+			var out []rtec.Transition
+			for _, c := range ctx.Events(CrowdType) {
+				val, _ := c.Str("value")
+				crowdSaysCongestion := val == Positive
+				scatsSays := ctx.HoldsAt(ScatsIntCongestion, c.Key, c.Time)
+				if crowdSaysCongestion != scatsSays {
+					out = append(out, rtec.InitiateAt(c.Key, c.Time))
+				} else {
+					out = append(out, rtec.TerminateAt(c.Key, c.Time))
+				}
+			}
+			return out
+		},
+	})
+
+	if extend != nil {
+		extend(b)
+	}
+	return b.Compile()
+}
+
+// Trend fluent values.
+const (
+	TrendRising  = "rising"
+	TrendFalling = "falling"
+	TrendSteady  = "steady"
+)
