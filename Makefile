@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench figures experiments clean
+.PHONY: all build vet test test-short race cover bench check bench-rtec figures experiments clean
 
 all: build vet test
 
@@ -26,6 +26,19 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# CI gate: vet everything, then run the engine and rule-set tests with
+# the race detector (covers the parallel rule evaluator).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./rtec/... ./traffic/...
+
+# The RTEC performance benches (Figure 4 sweep + the step-ratio
+# amortization bench, incremental and full-recompute), 5 repetitions,
+# as a JSON event stream for later comparison.
+bench-rtec:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4_EventRecognition|BenchmarkStepRatio' \
+		-count=5 -json . | tee BENCH_rtec.json
 
 # Regenerate every figure of the paper's evaluation into ./results.
 figures:

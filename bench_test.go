@@ -223,6 +223,18 @@ func BenchmarkDatasetGeneration(b *testing.B) {
 // the recognition-cost side of the Figure 2 trade-off whose benefit
 // cmd/delaybench measures.
 func BenchmarkStepRatio(b *testing.B) {
+	runStepRatio(b, false)
+}
+
+// BenchmarkStepRatioFullRecompute is the same workload with the
+// engine's incremental overlap caching disabled — the seed engine's
+// behaviour, kept as the baseline the incremental path is measured
+// against.
+func BenchmarkStepRatioFullRecompute(b *testing.B) {
+	runStepRatio(b, true)
+}
+
+func runStepRatio(b *testing.B, forceFull bool) {
 	city := benchCity(b)
 	const wmMin = 20
 	for _, stepMin := range []int{20, 10, 5} {
@@ -243,7 +255,11 @@ func BenchmarkStepRatio(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				engine, err := rtec.NewEngine(defs, rtec.Options{WorkingMemory: wm, Step: step})
+				engine, err := rtec.NewEngine(defs, rtec.Options{
+					WorkingMemory:      wm,
+					Step:               step,
+					ForceFullRecompute: forceFull,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	rtecbench [-buses 942] [-sensors 966] [-runs 3] [-wm 10,30,50,70,90,110]
+//	rtecbench [-buses 942] [-sensors 966] [-runs 3] [-wm 10,30,50,70,90,110] [-step 0] [-full]
 //
 // The defaults reproduce the paper's full scale (942 buses, 966 SCATS
 // sensors); recognition times then land in the same regime as the
 // paper's Prolog implementation (single-digit seconds at WM = 110 min).
+//
+// With -step N the benchmark switches to the sliding-window regime of
+// Figure 2 (WM > step): SDEs are delivered by arrival time and a query
+// runs every N minutes over one monitored hour; the reported figure is
+// the average per-query recognition time. -full disables the engine's
+// incremental overlap caching (Options.ForceFullRecompute), which is
+// the baseline to compare -step runs against.
 package main
 
 import (
@@ -38,6 +45,8 @@ func main() {
 		wmList  = flag.String("wm", "10,30,50,70,90,110", "working memory sizes in minutes")
 		seed    = flag.Int64("seed", 1, "city seed")
 		profile = flag.Bool("profile", false, "print the per-rule cost breakdown of the largest window")
+		stepMin = flag.Int("step", 0, "query step in minutes; 0 = one window per measurement, >0 = sliding-window regime")
+		full    = flag.Bool("full", false, "disable incremental overlap caching (full recompute baseline)")
 	)
 	flag.Parse()
 
@@ -59,21 +68,45 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Figure 4 — CE recognition time vs working memory\n")
+	if *stepMin > 0 {
+		fmt.Printf("Sliding-window recognition (step = %d min, one monitored hour", *stepMin)
+		if *full {
+			fmt.Printf(", full recompute")
+		}
+		fmt.Printf(")\n")
+	} else {
+		fmt.Printf("Figure 4 — CE recognition time vs working memory\n")
+	}
 	fmt.Printf("city: %d buses, %d SCATS sensors, 4 partitions, %d runs/point\n\n", *buses, *sensors, *runs)
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "WM\tSDEs\tstatic\tself-adaptive\toverhead")
+	if *stepMin > 0 {
+		fmt.Fprintln(w, "WM\tSDEs\tqueries\tstatic/query\tself-adaptive/query\toverhead")
+	} else {
+		fmt.Fprintln(w, "WM\tSDEs\tstatic\tself-adaptive\toverhead")
+	}
 	for _, wmMin := range wms {
 		wm := rtec.Time(wmMin * 60)
 		from := rtec.Time(7 * 3600) // morning rush
+		if *stepMin > 0 {
+			step := rtec.Time(*stepMin * 60)
+			sdes := city.Collect(from, from+3600)
+			queries := int(3600 / step)
+			staticT := measureSliding(reg, false, wm, step, from, sdes, *runs, *full)
+			adaptiveT := measureSliding(reg, true, wm, step, from, sdes, *runs, *full)
+			overhead := 100 * (adaptiveT.Seconds() - staticT.Seconds()) / staticT.Seconds()
+			fmt.Fprintf(w, "%d min\t%dK\t%d\t%.0fms\t%.0fms\t%+.1f%%\n",
+				wmMin, len(sdes)/1000, queries,
+				1000*staticT.Seconds()/float64(queries), 1000*adaptiveT.Seconds()/float64(queries), overhead)
+			continue
+		}
 		sdes := city.Collect(from, from+wm)
 		events := make([]rtec.Event, len(sdes))
 		for i, s := range sdes {
 			events[i] = s.Event
 		}
-		staticT := measure(reg, false, wm, from, events, *runs)
-		adaptiveT := measure(reg, true, wm, from, events, *runs)
+		staticT := measure(reg, false, wm, from, events, *runs, *full)
+		adaptiveT := measure(reg, true, wm, from, events, *runs, *full)
 		overhead := 100 * (adaptiveT.Seconds() - staticT.Seconds()) / staticT.Seconds()
 		fmt.Fprintf(w, "%d min\t%dK\t%.2fs\t%.2fs\t%+.1f%%\n",
 			wmMin, len(events)/1000, staticT.Seconds(), adaptiveT.Seconds(), overhead)
@@ -133,7 +166,7 @@ func main() {
 	}
 }
 
-func measure(reg *traffic.Registry, adaptive bool, wm, from rtec.Time, events []rtec.Event, runs int) time.Duration {
+func measure(reg *traffic.Registry, adaptive bool, wm, from rtec.Time, events []rtec.Event, runs int, full bool) time.Duration {
 	defs, err := traffic.Build(traffic.Config{
 		Registry:    reg,
 		Adaptive:    adaptive,
@@ -144,7 +177,8 @@ func measure(reg *traffic.Registry, adaptive bool, wm, from rtec.Time, events []
 	}
 	var total time.Duration
 	for r := 0; r < runs; r++ {
-		part, err := rtec.NewPartitioned(defs, rtec.Options{WorkingMemory: wm, Step: wm},
+		part, err := rtec.NewPartitioned(defs,
+			rtec.Options{WorkingMemory: wm, Step: wm, ForceFullRecompute: full},
 			4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
 		if err != nil {
 			log.Fatal(err)
@@ -157,6 +191,45 @@ func measure(reg *traffic.Registry, adaptive bool, wm, from rtec.Time, events []
 			log.Fatal(err)
 		}
 		total += time.Since(start)
+	}
+	return total / time.Duration(runs)
+}
+
+// measureSliding runs the WM > step regime: SDEs are delivered by
+// mediator arrival time, a query fires every step over one monitored
+// hour, and the returned duration is the total recognition time of the
+// hour (divide by the query count for a per-query average).
+func measureSliding(reg *traffic.Registry, adaptive bool, wm, step, from rtec.Time, sdes []dublin.SDE, runs int, full bool) time.Duration {
+	defs, err := traffic.Build(traffic.Config{
+		Registry:    reg,
+		Adaptive:    adaptive,
+		NoisyPolicy: traffic.Pessimistic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total time.Duration
+	for r := 0; r < runs; r++ {
+		part, err := rtec.NewPartitioned(defs,
+			rtec.Options{WorkingMemory: wm, Step: step, ForceFullRecompute: full},
+			4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		cursor := 0
+		for q := from + step; q <= from+3600; q += step {
+			for cursor < len(sdes) && sdes[cursor].Arrival <= q {
+				if err := part.Input(sdes[cursor].Event); err != nil {
+					log.Fatal(err)
+				}
+				cursor++
+			}
+			start := time.Now()
+			if _, err := part.Query(q); err != nil {
+				log.Fatal(err)
+			}
+			total += time.Since(start)
+		}
 	}
 	return total / time.Duration(runs)
 }

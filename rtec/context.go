@@ -16,26 +16,54 @@ type Span = interval.Span
 // the window return no data, mirroring RTEC's discarding of SDEs that
 // took place before or on Q−WM.
 //
+// SDE lookups are zero-copy views over the engine's time-indexed event
+// store; derived events are filed by the engine as strata complete.
+// During incremental evaluation the engine hands rules a context whose
+// event visibility is narrowed to the region being recomputed (view);
+// fluent lookups are never narrowed — interval lists always cover the
+// whole window.
+//
+// A Context is safe for concurrent readers; the engine only writes to
+// it at stratum barriers.
+//
 // The interval lists returned by Intervals and friends may extend to
 // the end of the window horizon for fluents that are still open at the
 // query time; they are clipped in the engine's Result.
 type Context struct {
 	window Span // [Q-WM+1, Q+1)
 	q      Time
+	view   Span // event visibility, ⊆ [Q-WM+1, Q+1); normally the full window
 
-	events  map[string][]Event            // by type, time-sorted
-	byKey   map[string]map[string][]Event // type -> key -> time-sorted events
-	fluents map[string]map[KV]List        // name -> instance -> maximal intervals
+	store        *eventStore                   // SDE buckets (read-only during a query); may be nil
+	derived      map[string][]Event            // derived events by type, time-sorted
+	derivedByKey map[string]map[string][]Event // type -> key -> time-sorted events
+	fluents      map[string]map[KV]List        // name -> instance -> maximal intervals
 }
 
 func newContext(q Time, window Span) *Context {
 	return &Context{
-		q:       q,
-		window:  window,
-		events:  make(map[string][]Event),
-		byKey:   make(map[string]map[string][]Event),
-		fluents: make(map[string]map[KV]List),
+		q:            q,
+		window:       window,
+		view:         Span{Start: window.Start, End: q + 1},
+		derived:      make(map[string][]Event),
+		derivedByKey: make(map[string]map[string][]Event),
+		fluents:      make(map[string]map[KV]List),
 	}
+}
+
+func newStoreContext(q Time, window Span, store *eventStore) *Context {
+	c := newContext(q, window)
+	c.store = store
+	return c
+}
+
+// withView returns a shallow copy of the context whose event lookups
+// are restricted to the given span (intersected with the window). The
+// copy shares the underlying event and fluent data.
+func (c *Context) withView(view Span) *Context {
+	cc := *c
+	cc.view = view.Intersect(c.view)
+	return &cc
 }
 
 // Window returns the working-memory span [Q−WM+1, Q+1).
@@ -46,27 +74,53 @@ func (c *Context) QueryTime() Time { return c.q }
 
 // Events returns the time-sorted occurrences of an event type inside
 // the window. The returned slice is shared; do not modify.
-func (c *Context) Events(typ string) []Event { return c.events[typ] }
+func (c *Context) Events(typ string) []Event {
+	if evs, ok := c.derived[typ]; ok {
+		return sliceSpan(evs, c.view)
+	}
+	if c.store != nil {
+		if b := c.store.bucket(typ); b != nil {
+			return b.window(c.view)
+		}
+	}
+	return nil
+}
 
 // EventsForKey returns the time-sorted occurrences of an event type
 // for one entity key. The returned slice is shared; do not modify.
 func (c *Context) EventsForKey(typ, key string) []Event {
-	m := c.byKey[typ]
-	if m == nil {
-		return nil
+	if m, ok := c.derivedByKey[typ]; ok {
+		return sliceSpan(m[key], c.view)
 	}
-	return m[key]
+	if c.store != nil {
+		if b := c.store.bucket(typ); b != nil {
+			return b.windowForKey(key, c.view)
+		}
+	}
+	return nil
 }
 
 // EventKeys returns the distinct entity keys that have occurrences of
 // the event type inside the window, in unspecified order.
 func (c *Context) EventKeys(typ string) []string {
-	m := c.byKey[typ]
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+	collect := func(m map[string][]Event) []string {
+		var out []string
+		for k, evs := range m {
+			if len(sliceSpan(evs, c.view)) > 0 {
+				out = append(out, k)
+			}
+		}
+		return out
 	}
-	return out
+	if m, ok := c.derivedByKey[typ]; ok {
+		return collect(m)
+	}
+	if c.store != nil {
+		if b := c.store.bucket(typ); b != nil {
+			return collect(b.byKey)
+		}
+	}
+	return nil
 }
 
 // Intervals returns holdsFor(Fluent(Key) = true, I): the maximal
@@ -112,20 +166,20 @@ func (c *Context) ValueAt(fluent, key string, t Time) (string, bool) {
 	return "", false
 }
 
-// addEvent inserts a derived event so higher strata can read it.
+// addEvents inserts derived events so higher strata can read them.
 // Events must be added before the stratum that reads them is
-// evaluated; the engine guarantees this ordering.
+// evaluated; the engine guarantees this ordering (strata are barriers).
 func (c *Context) addEvents(typ string, events []Event) {
 	if len(events) == 0 {
 		return
 	}
 	sortEvents(events)
-	c.events[typ] = events
+	c.derived[typ] = events
 	keyed := make(map[string][]Event)
 	for _, e := range events {
 		keyed[e.Key] = append(keyed[e.Key], e)
 	}
-	c.byKey[typ] = keyed
+	c.derivedByKey[typ] = keyed
 }
 
 func (c *Context) setFluent(name string, instances map[KV]List) {

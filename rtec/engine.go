@@ -2,6 +2,8 @@ package rtec
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/insight-dublin/insight/interval"
@@ -18,8 +20,19 @@ type Options struct {
 	// than Step is what lets delayed SDEs be incorporated (Fig. 2).
 	Step Time
 	// Profile makes every Query record per-rule evaluation times in
-	// Result.RuleCosts, for finding the expensive CE definitions.
+	// Result.RuleCosts and allocation totals in Stats.AllocBytes, for
+	// finding the expensive CE definitions.
 	Profile bool
+	// ForceFullRecompute disables the incremental overlap reuse
+	// (see incremental.go): every rule is re-evaluated over the whole
+	// window at every query, exactly like the original engine. Use it
+	// to debug a rule whose declared Locality is suspect — the
+	// incremental and full paths must produce identical results.
+	ForceFullRecompute bool
+	// RuleWorkers bounds the goroutines evaluating independent rules
+	// of one stratum concurrently. 0 means GOMAXPROCS; 1 forces
+	// serial evaluation. Strata remain barriers either way.
+	RuleWorkers int
 }
 
 // Engine is a windowed RTEC evaluator. It accumulates SDEs as they
@@ -33,7 +46,7 @@ type Engine struct {
 	defs *Definitions
 	opts Options
 
-	pending []Event // received, not yet fallen out of every future window
+	store   *eventStore // time-indexed SDE buckets
 	lastQ   Time
 	started bool
 
@@ -41,6 +54,10 @@ type Engine struct {
 	// lists from the previous query. They seed the law of inertia at
 	// the next window start.
 	prev map[string]map[KV]List
+
+	// cache holds, per local rule, the previous query's output for
+	// overlap reuse (see incremental.go).
+	cache map[string]*ruleCache
 
 	// seen tracks derived event instances already reported, for
 	// Result.Fresh. Pruned as instances fall out of the window.
@@ -64,14 +81,19 @@ func NewEngine(defs *Definitions, opts Options) (*Engine, error) {
 	if opts.Step < 0 {
 		return nil, fmt.Errorf("rtec: step must be non-negative, got %d", opts.Step)
 	}
+	if opts.RuleWorkers < 0 {
+		return nil, fmt.Errorf("rtec: rule workers must be non-negative, got %d", opts.RuleWorkers)
+	}
 	if opts.Step == 0 {
 		opts.Step = opts.WorkingMemory
 	}
 	return &Engine{
-		defs: defs,
-		opts: opts,
-		prev: make(map[string]map[KV]List),
-		seen: make(map[derivedID]bool),
+		defs:  defs,
+		opts:  opts,
+		store: newEventStore(),
+		prev:  make(map[string]map[KV]List),
+		cache: make(map[string]*ruleCache),
+		seen:  make(map[derivedID]bool),
 	}, nil
 }
 
@@ -81,16 +103,22 @@ func (e *Engine) Options() Options { return e.opts }
 // Input delivers SDEs to the engine. Events may arrive in any order
 // and with delays; an event participates in every query whose window
 // contains its occurrence time, provided it has arrived by then.
-// Events of undeclared types are rejected.
+// Events of undeclared types are rejected, and the whole batch is
+// rejected atomically: either every event is filed or none is.
 func (e *Engine) Input(events ...Event) error {
 	for _, ev := range events {
 		if !e.defs.IsSDE(ev.Type) {
 			return fmt.Errorf("rtec: event type %q was not declared as an SDE", ev.Type)
 		}
+	}
+	for _, ev := range events {
 		if e.started && ev.Time <= e.lastQ-e.opts.WorkingMemory {
 			continue // too old to ever appear in a window again
 		}
-		e.pending = append(e.pending, ev)
+		// Events landing at or before the last query time arrive late:
+		// an earlier query already evaluated that region, so cached
+		// overlap results touching it are stale.
+		e.store.insert(ev, e.started && ev.Time <= e.lastQ)
 	}
 	return nil
 }
@@ -124,6 +152,13 @@ type Stats struct {
 	DerivedEvents int           // derived event instances recognised
 	FluentPeriods int           // maximal intervals across all fluents
 	Elapsed       time.Duration // wall-clock evaluation time
+	// AllocBytes is the heap allocated during the evaluation
+	// (cumulative TotalAlloc delta). Recorded only under
+	// Options.Profile; 0 otherwise.
+	AllocBytes uint64
+	// EvalGoroutines is the peak number of goroutines that evaluated
+	// rules concurrently (1 when every stratum ran serially).
+	EvalGoroutines int
 }
 
 // HoldsAt reports whether a boolean fluent instance holds at t
@@ -146,43 +181,42 @@ func (r *Result) Intervals(fluent, key string) List {
 	return m[KV{Key: key, Value: TrueValue}]
 }
 
+// ruleOutput collects what one rule evaluation produced, so concurrent
+// evaluation can defer every shared-state mutation to the stratum
+// barrier and apply it in definition order (deterministic regardless
+// of goroutine scheduling).
+type ruleOutput struct {
+	trans  []Transition // simple: window-filtered transition points (next cache)
+	full   map[KV]List  // simple: un-clipped maximal intervals
+	static map[KV]List  // static: normalised instance intervals
+	events []Event      // event: in-window recognised instances
+}
+
 // Query evaluates all CE definitions at query time q. Query times must
 // be strictly increasing. SDEs that took place before or on q−WM are
-// discarded permanently (RTEC's windowing); everything inside the
-// window is recomputed from scratch, which is how delayed SDEs get
-// incorporated.
+// discarded permanently (RTEC's windowing); delayed SDEs inside the
+// window are incorporated by re-evaluating the affected region —
+// either the whole window, or, for rules with declared Locality and a
+// clean overlap, just the head/tail slices around the cached middle
+// (see incremental.go).
 func (e *Engine) Query(q Time) (*Result, error) {
 	if e.started && q <= e.lastQ {
 		return nil, fmt.Errorf("rtec: query times must increase (got %d after %d)", q, e.lastQ)
 	}
 	begin := time.Now()
+	var memBefore runtime.MemStats
+	if e.opts.Profile {
+		runtime.ReadMemStats(&memBefore)
+	}
 	wm := e.opts.WorkingMemory
 	windowStart := q - wm + 1
 	window := Span{Start: windowStart, End: q + 1}
 
-	// Discard SDEs at or before q−WM; hide SDEs after q (they have
-	// not happened yet from this query's standpoint).
-	kept := e.pending[:0]
-	var visible []Event
-	for _, ev := range e.pending {
-		if ev.Time <= q-wm {
-			continue
-		}
-		kept = append(kept, ev)
-		if ev.Time <= q {
-			visible = append(visible, ev)
-		}
-	}
-	e.pending = kept
-
-	ctx := newContext(q, window)
-	byType := make(map[string][]Event)
-	for _, ev := range visible {
-		byType[ev.Type] = append(byType[ev.Type], ev)
-	}
-	for typ, evs := range byType {
-		ctx.addEvents(typ, evs)
-	}
+	// Discard SDEs at or before q−WM. SDEs after q stay in the store
+	// but are hidden by the context view (they have not happened yet
+	// from this query's standpoint).
+	e.store.evict(q - wm)
+	ctx := newStoreContext(q, window, e.store)
 
 	res := &Result{
 		Q:       q,
@@ -191,11 +225,24 @@ func (e *Engine) Query(q Time) (*Result, error) {
 		Derived: make(map[string][]Event),
 	}
 	newPrev := make(map[string]map[KV]List, len(e.prev))
+	newCache := make(map[string]*ruleCache, len(e.cache))
 	if e.opts.Profile {
 		res.RuleCosts = make(map[string]time.Duration, len(e.defs.rules))
 	}
+	for typ := range e.defs.sdeTypes {
+		if b := e.store.bucket(typ); b != nil {
+			res.Stats.InputEvents += len(b.window(ctx.view))
+		}
+	}
 
-	for i := range e.defs.rules {
+	workers := e.opts.RuleWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outs := make([]ruleOutput, len(e.defs.rules))
+	var costMu sync.Mutex
+
+	evalOne := func(i int) {
 		rule := &e.defs.rules[i]
 		var ruleStart time.Time
 		if e.opts.Profile {
@@ -203,10 +250,14 @@ func (e *Engine) Query(q Time) (*Result, error) {
 		}
 		switch rule.kind {
 		case kindSimple:
-			full := evalSimpleFluent(rule.simple.Transitions(ctx), e.prev[rule.name], window, q)
-			ctx.setFluent(rule.name, full)
-			newPrev[rule.name] = full
-			res.Fluents[rule.name] = clipInstances(full, window)
+			var trans []Transition
+			if p, ok := e.planSplice(i, q, windowStart); ok {
+				trans = spliceTransitions(rule, e.cache[rule.name], p, ctx, windowStart, q)
+			} else {
+				trans = cacheTransitions(rule.simple.Transitions(ctx), windowStart, q)
+			}
+			outs[i].trans = trans
+			outs[i].full = evalSimpleFluent(trans, e.prev[rule.name], window, q)
 		case kindStatic:
 			inst := rule.static.HoldsFor(ctx)
 			norm := make(map[KV]List, len(inst))
@@ -221,23 +272,85 @@ func (e *Engine) Query(q Time) (*Result, error) {
 					norm[kv] = l
 				}
 			}
-			ctx.setFluent(rule.name, norm)
-			res.Fluents[rule.name] = clipInstances(norm, window)
+			outs[i].static = norm
 		case kindEvent:
-			evs := rule.event.Derive(ctx)
-			inWindow := evs[:0]
-			for _, ev := range evs {
-				if window.Contains(ev.Time) {
-					ev.Type = rule.name
-					inWindow = append(inWindow, ev)
+			var inWindow []Event
+			if p, ok := e.planSplice(i, q, windowStart); ok {
+				inWindow = spliceEvents(rule, e.cache[rule.name], p, ctx, windowStart, q)
+			} else {
+				evs := rule.event.Derive(ctx)
+				inWindow = evs[:0]
+				for _, ev := range evs {
+					if window.Contains(ev.Time) {
+						ev.Type = rule.name
+						inWindow = append(inWindow, ev)
+					}
 				}
 			}
-			ctx.addEvents(rule.name, inWindow)
-			res.Derived[rule.name] = inWindow
+			outs[i].events = inWindow
 		}
 		if e.opts.Profile {
-			res.RuleCosts[rule.name] += time.Since(ruleStart)
+			d := time.Since(ruleStart)
+			costMu.Lock()
+			res.RuleCosts[rule.name] += d
+			costMu.Unlock()
 		}
+	}
+
+	// Evaluate stratum by stratum (rules are sorted by stratum).
+	// Within a stratum rules never read each other, so they run
+	// concurrently on a bounded pool; the stratum barrier then applies
+	// their outputs to the shared context in definition order.
+	res.Stats.EvalGoroutines = 1
+	for lo := 0; lo < len(e.defs.rules); {
+		hi := lo + 1
+		for hi < len(e.defs.rules) && e.defs.rules[hi].stratum == e.defs.rules[lo].stratum {
+			hi++
+		}
+		if par := min(workers, hi-lo); par > 1 {
+			if par > res.Stats.EvalGoroutines {
+				res.Stats.EvalGoroutines = par
+			}
+			idx := make(chan int, hi-lo)
+			for i := lo; i < hi; i++ {
+				idx <- i
+			}
+			close(idx)
+			var wg sync.WaitGroup
+			wg.Add(par)
+			for w := 0; w < par; w++ {
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						evalOne(i)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for i := lo; i < hi; i++ {
+				evalOne(i)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			rule := &e.defs.rules[i]
+			switch rule.kind {
+			case kindSimple:
+				full := outs[i].full
+				ctx.setFluent(rule.name, full)
+				newPrev[rule.name] = full
+				res.Fluents[rule.name] = clipInstances(full, window)
+				newCache[rule.name] = &ruleCache{q: q, trans: outs[i].trans}
+			case kindStatic:
+				ctx.setFluent(rule.name, outs[i].static)
+				res.Fluents[rule.name] = clipInstances(outs[i].static, window)
+			case kindEvent:
+				ctx.addEvents(rule.name, outs[i].events)
+				res.Derived[rule.name] = outs[i].events
+				newCache[rule.name] = &ruleCache{q: q, evs: outs[i].events}
+			}
+		}
+		lo = hi
 	}
 
 	// Fresh derived events: not seen at any earlier query time.
@@ -260,7 +373,6 @@ func (e *Engine) Query(q Time) (*Result, error) {
 		}
 	}
 
-	res.Stats.InputEvents = len(visible)
 	for _, evs := range res.Derived {
 		res.Stats.DerivedEvents += len(evs)
 	}
@@ -270,11 +382,25 @@ func (e *Engine) Query(q Time) (*Result, error) {
 		}
 	}
 	res.Stats.Elapsed = time.Since(begin)
+	if e.opts.Profile {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+	}
 
 	e.prev = newPrev
+	e.cache = newCache
+	e.store.clearDirty()
 	e.lastQ = q
 	e.started = true
 	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Run evaluates at the regular query times start, start+Step,

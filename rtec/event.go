@@ -41,6 +41,12 @@ import (
 // Time is a discrete time point (an alias of interval.Time).
 type Time = interval.Time
 
+// Sentinel time points (re-exported from the interval package).
+const (
+	MinTime = interval.MinTime
+	MaxTime = interval.MaxTime
+)
+
 // Event is an event instance: happensAt(Type(attributes...), Time).
 // Key names the principal entity the event is about (a bus ID, a
 // SCATS sensor ID, an intersection ID); the engine indexes events by

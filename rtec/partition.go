@@ -119,6 +119,8 @@ func MergeResults(results []*Result) *Result {
 		out.Stats.InputEvents += r.Stats.InputEvents
 		out.Stats.DerivedEvents += r.Stats.DerivedEvents
 		out.Stats.FluentPeriods += r.Stats.FluentPeriods
+		out.Stats.AllocBytes += r.Stats.AllocBytes
+		out.Stats.EvalGoroutines += r.Stats.EvalGoroutines
 		if r.Stats.Elapsed > out.Stats.Elapsed {
 			out.Stats.Elapsed = r.Stats.Elapsed // parallel: max, not sum
 		}

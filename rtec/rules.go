@@ -35,6 +35,42 @@ func TerminateAt(key string, t Time) Transition {
 	return Transition{Kind: Terminate, Key: key, Value: TrueValue, Time: t}
 }
 
+// Locality declares the temporal locality of a rule, which is what
+// licenses the engine's incremental overlap reuse (see incremental.go).
+// A rule is local when its output at time T is fully determined by the
+// input events it can observe in (T-Lookback, T+Lookahead] together
+// with the values of its input fluents over that same range. The zero
+// value declares a rule non-local: it is re-evaluated over the whole
+// window at every query, which is always safe.
+//
+// Declaring locality the rule does not actually have is a programming
+// error of the same class as reading an undeclared input: the
+// incremental path may then reuse stale results. Options.
+// ForceFullRecompute disables all reuse for debugging such rules.
+type Locality struct {
+	// Local enables incremental reuse for the rule.
+	Local bool
+	// Lookback bounds how far before T an input event may influence
+	// the rule's output at T.
+	Lookback Time
+	// Lookahead bounds how far after T an input event may influence
+	// the rule's output at T (e.g. the crowd-confirmation window of
+	// the paper's rule-set (4), which initiates noisy at the earlier
+	// disagreement time).
+	Lookahead Time
+}
+
+// Pointwise is the locality of rules whose output at T depends only on
+// inputs at exactly T — threshold rules like the paper's
+// scatsCongestion.
+func Pointwise() Locality { return Locality{Local: true} }
+
+// LocalWindow declares a bounded locality window around each output
+// time.
+func LocalWindow(lookback, lookahead Time) Locality {
+	return Locality{Local: true, Lookback: lookback, Lookahead: lookahead}
+}
+
 // SimpleFluent defines a simple fluent in the sense of RTEC: its
 // maximal intervals are computed from initiation and termination
 // points under the law of inertia. Transitions is called once per
@@ -52,6 +88,9 @@ type SimpleFluent struct {
 	Inputs []string
 	// Transitions derives the initiation/termination points.
 	Transitions func(ctx *Context) []Transition
+	// Locality optionally declares temporal locality, enabling
+	// incremental evaluation over overlapping windows.
+	Locality Locality
 }
 
 // StaticFluent defines a statically determined fluent: its maximal
@@ -75,6 +114,9 @@ type EventRule struct {
 	Name   string
 	Inputs []string
 	Derive func(ctx *Context) []Event
+	// Locality optionally declares temporal locality, enabling
+	// incremental evaluation over overlapping windows.
+	Locality Locality
 }
 
 // Definitions is a compiled, stratified CE definition set. Build one
@@ -83,6 +125,7 @@ type Definitions struct {
 	sdeTypes map[string]bool
 	rules    []compiledRule // in evaluation order
 	names    map[string]ruleKind
+	meta     []ruleMeta // incremental-evaluation metadata, aligned with rules
 }
 
 type ruleKind int
@@ -95,13 +138,14 @@ const (
 )
 
 type compiledRule struct {
-	kind    ruleKind
-	name    string
-	inputs  []string
-	simple  *SimpleFluent
-	static  *StaticFluent
-	event   *EventRule
-	stratum int
+	kind     ruleKind
+	name     string
+	inputs   []string
+	simple   *SimpleFluent
+	static   *StaticFluent
+	event    *EventRule
+	stratum  int
+	locality Locality
 }
 
 // Builder accumulates SDE declarations and CE definitions and compiles
@@ -174,7 +218,7 @@ func (b *Builder) Compile() (*Definitions, error) {
 		if f.Transitions == nil {
 			return nil, fmt.Errorf("rtec: simple fluent %q has no Transitions func", f.Name)
 		}
-		if err := add(kindSimple, f.Name, f.Inputs, compiledRule{simple: f}); err != nil {
+		if err := add(kindSimple, f.Name, f.Inputs, compiledRule{simple: f, locality: f.Locality}); err != nil {
 			return nil, err
 		}
 	}
@@ -192,7 +236,7 @@ func (b *Builder) Compile() (*Definitions, error) {
 		if r.Derive == nil {
 			return nil, fmt.Errorf("rtec: event rule %q has no Derive func", r.Name)
 		}
-		if err := add(kindEvent, r.Name, r.Inputs, compiledRule{event: r}); err != nil {
+		if err := add(kindEvent, r.Name, r.Inputs, compiledRule{event: r, locality: r.Locality}); err != nil {
 			return nil, err
 		}
 	}
@@ -253,6 +297,7 @@ func (b *Builder) Compile() (*Definitions, error) {
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].stratum < all[j].stratum })
 	d.rules = all
+	d.meta = computeMeta(d)
 	return d, nil
 }
 

@@ -1,0 +1,156 @@
+package rtec
+
+import "sort"
+
+// eventStore is the engine's time-indexed SDE store. Events are kept in
+// per-type buckets sorted by occurrence time (ties in arrival order, so
+// the ordering matches the engine's historical stable sort), with a
+// parallel per-key index for the EventsForKey joins. Window extraction
+// is a binary-search slice — no copying, no per-query re-sorting — and
+// eviction is an amortised O(log n) prefix trim.
+//
+// The store also tracks, per type, the earliest occurrence time among
+// events that arrived late (at or before the last query time) since
+// that query: the "dirty watermark" the incremental evaluator consults
+// to decide how much of a cached overlap result is still valid —
+// everything the late region can influence must be recomputed, the
+// rest is reusable.
+type eventStore struct {
+	types map[string]*typeEvents
+}
+
+type typeEvents struct {
+	events []Event            // time-sorted, arrival-stable
+	byKey  map[string][]Event // per entity key, time-sorted
+	// lateMin is the earliest occurrence time among events that
+	// arrived at or before the engine's last query time, since that
+	// query. MaxTime means no late arrivals.
+	lateMin Time
+}
+
+func newEventStore() *eventStore {
+	return &eventStore{types: make(map[string]*typeEvents)}
+}
+
+func (s *eventStore) bucket(typ string) *typeEvents { return s.types[typ] }
+
+// insert files an event, preserving time order (equal times keep
+// arrival order). late marks events whose occurrence time is at or
+// before the last query time — they land in a region earlier queries
+// already evaluated.
+func (s *eventStore) insert(ev Event, late bool) {
+	b := s.types[ev.Type]
+	if b == nil {
+		b = &typeEvents{byKey: make(map[string][]Event), lateMin: MaxTime}
+		s.types[ev.Type] = b
+	}
+	b.events = insertSorted(b.events, ev)
+	b.byKey[ev.Key] = insertSorted(b.byKey[ev.Key], ev)
+	if late && ev.Time < b.lateMin {
+		b.lateMin = ev.Time
+	}
+}
+
+// insertSorted places ev after every event with Time <= ev.Time. The
+// common case — in-order arrival — is an O(1) append.
+func insertSorted(evs []Event, ev Event) []Event {
+	n := len(evs)
+	if n == 0 || evs[n-1].Time <= ev.Time {
+		return append(evs, ev)
+	}
+	i := sort.Search(n, func(i int) bool { return evs[i].Time > ev.Time })
+	evs = append(evs, Event{})
+	copy(evs[i+1:], evs[i:])
+	evs[i] = ev
+	return evs
+}
+
+// evict permanently discards events with Time <= cutoff (RTEC's
+// working-memory windowing).
+func (s *eventStore) evict(cutoff Time) {
+	for typ, b := range s.types {
+		b.events = trimBefore(b.events, cutoff)
+		for key, evs := range b.byKey {
+			t := trimBefore(evs, cutoff)
+			if len(t) == 0 {
+				delete(b.byKey, key)
+			} else {
+				b.byKey[key] = t
+			}
+		}
+		if len(b.events) == 0 && len(b.byKey) == 0 && b.lateMin == MaxTime {
+			delete(s.types, typ)
+		}
+	}
+}
+
+// trimBefore drops the prefix of events with Time <= cutoff. When the
+// dead prefix dominates, the survivors are copied into a fresh slice so
+// the backing array can be reclaimed.
+func trimBefore(evs []Event, cutoff Time) []Event {
+	if len(evs) == 0 || evs[0].Time > cutoff {
+		return evs
+	}
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Time > cutoff })
+	if i == len(evs) {
+		return nil
+	}
+	if i*2 >= len(evs) {
+		out := make([]Event, len(evs)-i)
+		copy(out, evs[i:])
+		return out
+	}
+	return evs[i:]
+}
+
+// window returns the stored events of a type with occurrence time in
+// span [Start, End), as a shared sub-slice of the bucket.
+func (b *typeEvents) window(span Span) []Event {
+	return sliceSpan(b.events, span)
+}
+
+// windowForKey is window restricted to one entity key.
+func (b *typeEvents) windowForKey(key string, span Span) []Event {
+	return sliceSpan(b.byKey[key], span)
+}
+
+// sliceSpan restricts a time-sorted slice to [span.Start, span.End).
+func sliceSpan(evs []Event, span Span) []Event {
+	if len(evs) == 0 || span.Empty() {
+		return nil
+	}
+	lo := 0
+	if evs[0].Time < span.Start {
+		lo = sort.Search(len(evs), func(i int) bool { return evs[i].Time >= span.Start })
+	}
+	hi := len(evs)
+	if hi > lo && evs[hi-1].Time >= span.End {
+		hi = lo + sort.Search(hi-lo, func(i int) bool { return evs[lo+i].Time >= span.End })
+	}
+	if lo >= hi {
+		return nil
+	}
+	return evs[lo:hi]
+}
+
+// dirtyFloor returns the earliest late-arrival time across the given
+// SDE types, or MaxTime if none of them received late events since the
+// last query. Cached rule outputs the late region can influence (at or
+// after floor − effective lookahead) must be recomputed.
+func (s *eventStore) dirtyFloor(sdeTypes map[string]bool) Time {
+	floor := MaxTime
+	for typ := range sdeTypes {
+		if b := s.types[typ]; b != nil && b.lateMin < floor {
+			floor = b.lateMin
+		}
+	}
+	return floor
+}
+
+// clearDirty resets the late watermarks; the engine calls it once per
+// completed query.
+func (s *eventStore) clearDirty() {
+	for _, b := range s.types {
+		b.lateMin = MaxTime
+	}
+}

@@ -191,8 +191,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 	// F <= lower_Flow_threshold; terminatedAt when either bound is
 	// crossed back.
 	b.Simple(rtec.SimpleFluent{
-		Name:   ScatsCongestion,
-		Inputs: []string{TrafficType},
+		Name:     ScatsCongestion,
+		Inputs:   []string{TrafficType},
+		Locality: rtec.Pointwise(), // threshold test on the reading at T only
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
 			for _, e := range ctx.Events(TrafficType) {
@@ -334,21 +335,33 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 		}
 		return out
 	}
+	// Both compare the move event at T against the fluent value at T.
 	b.Event(rtec.EventRule{
-		Name:   Disagree,
-		Inputs: []string{MoveType, ScatsIntCongestion},
-		Derive: func(ctx *rtec.Context) []rtec.Event { return deriveMatches(ctx, true) },
+		Name:     Disagree,
+		Inputs:   []string{MoveType, ScatsIntCongestion},
+		Locality: rtec.Pointwise(),
+		Derive:   func(ctx *rtec.Context) []rtec.Event { return deriveMatches(ctx, true) },
 	})
 	b.Event(rtec.EventRule{
-		Name:   Agree,
-		Inputs: []string{MoveType, ScatsIntCongestion},
-		Derive: func(ctx *rtec.Context) []rtec.Event { return deriveMatches(ctx, false) },
+		Name:     Agree,
+		Inputs:   []string{MoveType, ScatsIntCongestion},
+		Locality: rtec.Pointwise(),
+		Derive:   func(ctx *rtec.Context) []rtec.Event { return deriveMatches(ctx, false) },
 	})
 
 	// --- noisy: rule-sets (4) and (5) -----------------------------------
+	// Rule-set (4) transitions at the disagreement time from crowd
+	// reports up to CrowdWindow later (pure lookahead); rule-set (5)
+	// also terminates at the crowd time from a disagreement up to
+	// CrowdWindow earlier (lookback).
+	noisyLocality := rtec.LocalWindow(0, cfg.CrowdWindow)
+	if cfg.NoisyPolicy == Pessimistic {
+		noisyLocality = rtec.LocalWindow(cfg.CrowdWindow, cfg.CrowdWindow)
+	}
 	b.Simple(rtec.SimpleFluent{
-		Name:   Noisy,
-		Inputs: []string{Disagree, Agree, CrowdType},
+		Name:     Noisy,
+		Inputs:   []string{Disagree, Agree, CrowdType},
+		Locality: noisyLocality,
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
 			// Source agreement always rehabilitates.
@@ -395,8 +408,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 		busInputs = append(busInputs, Noisy)
 	}
 	b.Simple(rtec.SimpleFluent{
-		Name:   BusCongestion,
-		Inputs: busInputs,
+		Name:     BusCongestion,
+		Inputs:   busInputs,
+		Locality: rtec.Pointwise(), // move event at T (and, if Adaptive, noisy at T)
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
 			for _, e := range ctx.Events(MoveType) {
@@ -446,9 +460,13 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 	// --- delayIncrease ----------------------------------------------------
 	// Recognised when the delay of a bus grows by more than d seconds
 	// across two SDEs less than t seconds apart.
+	// Local with lookback t: the emitting pair lies within t of the
+	// emission time, and a pair wider than t never emits, so a view
+	// covering (T−t, T] determines the output at T exactly.
 	b.Event(rtec.EventRule{
-		Name:   DelayIncrease,
-		Inputs: []string{MoveType},
+		Name:     DelayIncrease,
+		Inputs:   []string{MoveType},
+		Locality: rtec.LocalWindow(cfg.DelayIncreaseWindow, 0),
 		Derive: func(ctx *rtec.Context) []rtec.Event {
 			var out []rtec.Event
 			for _, bus := range ctx.EventKeys(MoveType) {
@@ -489,6 +507,8 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 	// memory covers at least three readings of the sensor — WM must
 	// exceed twice the SCATS emission period (2 x 6 min in Dublin).
 	// This is the kind of WM tuning the paper leaves to the end user.
+	// No Locality: consecutive readings of a sensor may be arbitrarily
+	// far apart, so the pair emitting at T has unbounded lookback.
 	trend := func(name, attr string) rtec.SimpleFluent {
 		return rtec.SimpleFluent{
 			Name:   name,
@@ -550,9 +570,12 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 	// (Section 1). A sensor is heading into congestion while its
 	// density is already elevated and still rising, but the congestion
 	// thresholds have not been crossed yet.
+	// Pointwise in its own reads, but densityTrend is non-local, so the
+	// engine still recomputes this fluent in full every query.
 	b.Simple(rtec.SimpleFluent{
-		Name:   CongestionInMake,
-		Inputs: []string{TrafficType, DensityTrend},
+		Name:     CongestionInMake,
+		Inputs:   []string{TrafficType, DensityTrend},
+		Locality: rtec.Pointwise(),
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
 			for _, e := range ctx.Events(TrafficType) {
@@ -576,8 +599,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 	// sensors" (end of Section 4.3). An intersection's sensor set is
 	// considered noisy while the crowd contradicts it.
 	b.Simple(rtec.SimpleFluent{
-		Name:   NoisyScats,
-		Inputs: []string{CrowdType, ScatsIntCongestion},
+		Name:     NoisyScats,
+		Inputs:   []string{CrowdType, ScatsIntCongestion},
+		Locality: rtec.Pointwise(), // crowd report at T vs the fluent value at T
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
 			for _, c := range ctx.Events(CrowdType) {
