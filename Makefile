@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench check bench-rtec figures experiments clean
+.PHONY: all build vet test test-short race cover bench check chaos bench-rtec figures experiments clean
 
 all: build vet test
 
@@ -27,11 +27,18 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# CI gate: vet everything, then run the engine and rule-set tests with
-# the race detector (covers the parallel rule evaluator).
+# CI gate: vet everything, then run the engine, rule-set and streams
+# backbone tests with the race detector (covers the parallel rule
+# evaluator and the topology supervision/shutdown paths).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./rtec/... ./traffic/...
+	$(GO) test -race ./streams/... ./rtec/... ./traffic/...
+
+# The chaos harness: the Dublin pipeline under deterministic fault
+# profiles, scored against its own fault-free run.
+chaos:
+	mkdir -p results
+	$(GO) run ./cmd/chaosbench          | tee results/chaos.txt
 
 # The RTEC performance benches (Figure 4 sweep + the step-ratio
 # amortization bench, incremental and full-recompute), 5 repetitions,

@@ -128,6 +128,13 @@ type StepTiming struct {
 	// Missed reports that the worker's answer arrived after the
 	// query deadline and was excluded from the reduce phase.
 	Missed bool
+	// Failed reports that the worker produced no answer at all within
+	// the engine's ResponseTimeout across all attempts (a dead or hung
+	// device); it is excluded from the reduce phase.
+	Failed bool
+	// Attempts is the number of Respond attempts made (1 unless the
+	// engine retried after timeouts).
+	Attempts int
 }
 
 // Total returns the end-to-end latency of the worker's map task.
@@ -166,6 +173,16 @@ type Options struct {
 	// RealTime makes Execute actually sleep the sampled latencies
 	// (for end-to-end demos); by default time is virtual.
 	RealTime bool
+	// ResponseTimeout bounds the wall-clock time one device's Respond
+	// call may take before the engine gives up on it for this attempt.
+	// 0 (the default) waits forever — a dead worker then hangs the
+	// round. The abandoned Respond goroutine is orphaned, not killed;
+	// its eventual answer is discarded.
+	ResponseTimeout time.Duration
+	// RespondRetries is the number of extra Respond attempts after a
+	// timeout before the worker is marked Failed and excluded from the
+	// reduce phase. Default 0 (one attempt only).
+	RespondRetries int
 }
 
 // Engine executes crowdsourcing queries against registered devices.
@@ -177,6 +194,8 @@ type Engine struct {
 	profile LatencyProfile
 	rng     *rand.Rand
 	real    bool
+	timeout time.Duration
+	retries int
 }
 
 // NewEngine builds a query execution engine.
@@ -193,6 +212,8 @@ func NewEngine(opts Options) *Engine {
 		profile: p,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		real:    opts.RealTime,
+		timeout: opts.ResponseTimeout,
+		retries: opts.RespondRetries,
 	}
 }
 
@@ -268,12 +289,51 @@ func (e *Engine) sampleTrigger() time.Duration {
 	return d
 }
 
+// respond obtains one worker's answer, bounded by the engine's
+// ResponseTimeout per attempt and retried up to RespondRetries times.
+// It reports failed = true when every attempt timed out (or the
+// context ended): a dead device cannot hang the round. An attempt's
+// Respond goroutine that outlives its timeout is abandoned; a late
+// answer is discarded.
+func (e *Engine) respond(ctx context.Context, w Device, q Query) (label string, think time.Duration, failed bool, attempts int) {
+	if e.timeout <= 0 {
+		label, think = w.Respond(q)
+		return label, think, false, 1
+	}
+	type answer struct {
+		label string
+		think time.Duration
+	}
+	maxAttempts := e.retries + 1
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		ch := make(chan answer, 1)
+		go func() {
+			l, th := w.Respond(q)
+			ch <- answer{l, th}
+		}()
+		timer := time.NewTimer(e.timeout)
+		select {
+		case a := <-ch:
+			timer.Stop()
+			return a.label, a.think, false, attempt
+		case <-ctx.Done():
+			timer.Stop()
+			return "", 0, true, attempt
+		case <-timer.C:
+		}
+	}
+	return "", 0, true, maxAttempts
+}
+
 // Execute runs the query against the selected participants: the map
 // phase dispatches one task per worker (concurrently, as the paper
 // uses MapReduce "to maximize parallelism"), and the reduce phase
 // merges the in-deadline answers into label counts. Workers that are
 // not connected are skipped; workers whose end-to-end time exceeds the
-// deadline are marked Missed and excluded from the reduce output.
+// deadline are marked Missed and excluded from the reduce output, and
+// workers whose device never answers within the engine's
+// ResponseTimeout (after its bounded retries) are marked Failed and
+// likewise excluded — a dead participant cannot hang the round.
 func (e *Engine) Execute(ctx context.Context, q Query, selected []crowd.Participant) (*Execution, error) {
 	if len(q.Answers) < 2 {
 		return nil, fmt.Errorf("qee: query %q needs at least two possible answers", q.ID)
@@ -303,7 +363,13 @@ func (e *Engine) Execute(ctx context.Context, q Query, selected []crowd.Particip
 			t := StepTiming{Participant: w.Participant.ID, Network: w.Network}
 			t.Trigger = e.sampleTrigger()
 			t.Push = e.sample(e.profile.Push[w.Network])
-			label, think := w.Respond(q)
+			label, think, failed, attempts := e.respond(ctx, w, q)
+			t.Attempts = attempts
+			if failed {
+				t.Failed = true
+				results <- mapResult{timing: t}
+				return
+			}
 			t.Think = think
 			t.Comm = e.sample(e.profile.Comm[w.Network])
 			if e.real {
@@ -328,7 +394,7 @@ func (e *Engine) Execute(ctx context.Context, q Query, selected []crowd.Particip
 	exec := &Execution{Query: q, Counts: make(map[string]int)}
 	for r := range results {
 		exec.Timings = append(exec.Timings, r.timing)
-		if r.timing.Missed {
+		if r.timing.Missed || r.timing.Failed {
 			continue
 		}
 		exec.Answers = append(exec.Answers, r.answer)

@@ -2,6 +2,7 @@ package qee
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -394,4 +395,159 @@ func TestSensorCapableDeviceAlsoAnswersQuestions(t *testing.T) {
 	if len(exec.Answers) != 1 {
 		t.Errorf("dual device must answer questions too: %v", exec.Answers)
 	}
+}
+
+// TestExecuteDeadWorkerCannotHangRound: a device whose Respond blocks
+// forever must not stall Execute. With a ResponseTimeout set, the
+// round gives up on the dead worker after its bounded retries, marks
+// it Failed, and reduces the healthy workers' answers as usual.
+func TestExecuteDeadWorkerCannotHangRound(t *testing.T) {
+	e := NewEngine(Options{
+		Seed:            3,
+		ResponseTimeout: 20 * time.Millisecond,
+		RespondRetries:  2,
+	})
+	hang := make(chan struct{}) // never closed: a hung device
+	if err := e.Connect(Device{
+		Participant: crowd.Participant{ID: "dead"},
+		Network:     TwoG,
+		Respond: func(Query) (string, time.Duration) {
+			<-hang
+			return "yes", 0
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"w1", "w2"} {
+		if err := e.Connect(Device{
+			Participant: crowd.Participant{ID: id},
+			Network:     WiFi,
+			Respond:     fixedResponder("yes"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	var exec *Execution
+	var err error
+	go func() {
+		defer close(done)
+		exec, err = e.Execute(context.Background(), testQuery, selected("dead", "w1", "w2"))
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Execute hung behind the dead worker")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(exec.Timings) != 3 {
+		t.Fatalf("Timings = %d entries, want 3 (the dead worker is reported, not dropped)", len(exec.Timings))
+	}
+	var deadTiming *StepTiming
+	for i := range exec.Timings {
+		if exec.Timings[i].Participant == "dead" {
+			deadTiming = &exec.Timings[i]
+		} else if exec.Timings[i].Failed {
+			t.Errorf("healthy worker %s marked Failed", exec.Timings[i].Participant)
+		}
+	}
+	if deadTiming == nil {
+		t.Fatal("dead worker missing from Timings")
+	}
+	if !deadTiming.Failed {
+		t.Error("dead worker not marked Failed")
+	}
+	if deadTiming.Attempts != 3 {
+		t.Errorf("dead worker Attempts = %d, want 3 (1 + 2 retries)", deadTiming.Attempts)
+	}
+	// The reduce phase excludes the failure and keeps the answers.
+	if len(exec.Answers) != 2 || exec.Counts["yes"] != 2 {
+		t.Errorf("Answers = %v, Counts = %v: want the 2 healthy answers reduced", exec.Answers, exec.Counts)
+	}
+}
+
+// TestRespondRetryRecovers: a device that times out once and then
+// answers is retried rather than declared dead.
+func TestRespondRetryRecovers(t *testing.T) {
+	e := NewEngine(Options{
+		Seed:            3,
+		ResponseTimeout: 50 * time.Millisecond,
+		RespondRetries:  3,
+	})
+	var mu sync.Mutex
+	calls := 0
+	if err := e.Connect(Device{
+		Participant: crowd.Participant{ID: "flaky"},
+		Network:     ThreeG,
+		Respond: func(Query) (string, time.Duration) {
+			mu.Lock()
+			calls++
+			first := calls == 1
+			mu.Unlock()
+			if first {
+				time.Sleep(2 * time.Second) // blows the first attempt's timeout
+			}
+			return "no", 0
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := e.Execute(context.Background(), testQuery, selected("flaky"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Timings) != 1 {
+		t.Fatalf("Timings = %d entries, want 1", len(exec.Timings))
+	}
+	ti := exec.Timings[0]
+	if ti.Failed {
+		t.Error("recovered worker marked Failed")
+	}
+	if ti.Attempts < 2 {
+		t.Errorf("Attempts = %d, want at least 2 (first timed out)", ti.Attempts)
+	}
+	if exec.Counts["no"] != 1 {
+		t.Errorf("Counts = %v, want the retried answer reduced", exec.Counts)
+	}
+}
+
+// TestRespondContextCancellation: cancelling the round releases a
+// worker parked on a dead device without waiting out the retries.
+func TestRespondContextCancellation(t *testing.T) {
+	e := NewEngine(Options{
+		Seed:            3,
+		ResponseTimeout: 10 * time.Second, // longer than the test allows
+	})
+	hang := make(chan struct{})
+	if err := e.Connect(Device{
+		Participant: crowd.Participant{ID: "dead"},
+		Network:     TwoG,
+		Respond: func(Query) (string, time.Duration) {
+			<-hang
+			return "yes", 0
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Execute(ctx, testQuery, selected("dead"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Execute = nil error after cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute not released by cancellation")
+	}
+	close(hang)
 }

@@ -68,6 +68,22 @@ type Config struct {
 	CrowdSelection crowd.Selection
 	// CrowdDeadline bounds each crowd query; default 0 (none).
 	CrowdDeadline time.Duration
+	// CrowdResponseTimeout bounds how long one participant's device
+	// may take to produce an answer before the round gives up on it
+	// (and retries, see CrowdRespondRetries). 0 waits forever — a dead
+	// worker then hangs the crowdsourcing round.
+	CrowdResponseTimeout time.Duration
+	// CrowdRespondRetries is the number of extra response attempts
+	// after a timeout before the worker is marked failed. Default 0.
+	CrowdRespondRetries int
+	// WatermarkStaleness is the pipeline's per-stream liveness bound:
+	// an input stream whose arrival watermark trails the most advanced
+	// stream by more than this is declared degraded and excluded from
+	// the query-boundary watermark minimum, so a silent source cannot
+	// freeze recognition (the degradation is flagged on each Report).
+	// 0 disables: a silent stream then withholds query boundaries
+	// until end of stream. One Step is a good starting bound.
+	WatermarkStaleness Time
 	// Seed drives the crowdsourcing simulation.
 	Seed int64
 }
@@ -175,7 +191,11 @@ func New(cfg Config) (*System, error) {
 	}
 
 	if len(cfg.Participants) > 0 {
-		s.qeeEngine = qee.NewEngine(qee.Options{Seed: cfg.Seed})
+		s.qeeEngine = qee.NewEngine(qee.Options{
+			Seed:            cfg.Seed,
+			ResponseTimeout: cfg.CrowdResponseTimeout,
+			RespondRetries:  cfg.CrowdRespondRetries,
+		})
 		for i, p := range cfg.Participants {
 			if err := s.roster.Register(crowd.Participant{
 				ID: p.ID, Pos: p.Pos, Online: true,

@@ -33,7 +33,13 @@ import (
 type Pipeline struct {
 	Topology *streams.Topology
 	Reports  *streams.CollectorSink
-	system   *System
+	// Chaos holds the per-stream fault injectors of a chaos pipeline
+	// (empty for BuildPipeline), keyed by stream id.
+	Chaos map[string]*streams.ChaosSource
+	// ChaosProcs holds the error-injecting input processors of a chaos
+	// pipeline with InputErrProb > 0, keyed by stream id.
+	ChaosProcs map[string]*streams.ChaosProcessor
+	system     *System
 }
 
 // Item attribute keys used by the pipeline.
@@ -45,11 +51,41 @@ const (
 	itemReport  = "report"  // *Report payload
 )
 
+// ChaosConfig configures deterministic fault injection for
+// BuildChaosPipeline.
+type ChaosConfig struct {
+	// Streams maps input stream ids ("bus", "scats-central",
+	// "scats-north", "scats-west", "scats-south") to the faults
+	// injected into that stream.
+	Streams map[string]streams.FaultSpec
+	// InputErrProb injects processor errors into the per-stream input
+	// validation processors with this probability. The input processes
+	// are then supervised with SkipItem, so affected SDEs are
+	// dead-lettered (visible via Topology.DeadLetters) instead of
+	// aborting the topology.
+	InputErrProb float64
+	// Seed drives the injected-error sampling; each stream's FaultSpec
+	// carries its own seed.
+	Seed int64
+}
+
 // BuildPipeline constructs the Figure 1 data-flow graph over the
 // system for SDEs occurring in [from, until). Run it with
 // Pipeline.Topology.Run; afterwards Pipeline.Reports holds one item
 // per query time.
 func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
+	return s.buildPipeline(from, until, ChaosConfig{})
+}
+
+// BuildChaosPipeline is BuildPipeline with deterministic fault
+// injection on the input streams — the harness behind cmd/chaosbench.
+// Pipeline.Chaos exposes the per-stream injectors for fault
+// accounting.
+func (s *System) BuildChaosPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, error) {
+	return s.buildPipeline(from, until, chaos)
+}
+
+func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, error) {
 	sdes := s.city.Collect(from, until)
 
 	// Split into the paper's five input streams, each arrival-ordered
@@ -67,17 +103,37 @@ func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
 			itemSource:  id,
 		})
 	}
-	// End-of-stream punctuation: enough trailing markers per stream
-	// for the event processor to flush one buffered report per marker
-	// once the watermarks stop advancing.
-	boundaries := int((until-from)/s.cfg.Step) + 2
+	// End-of-stream punctuation: one trailing marker per stream lifts
+	// that stream's watermark past the final boundary as soon as it
+	// ends. Query boundaries that still become due simultaneously at
+	// the very end are drained by the event processor's Flush when the
+	// merge queue is exhausted — no padding heuristic needed.
 	top := streams.NewTopology()
-	for _, id := range streamIDs {
-		items := perStream[id]
-		for i := 0; i < boundaries; i++ {
-			items = append(items, streams.Item{itemSource: id, itemEOF: true})
+	chaosSources := make(map[string]*streams.ChaosSource)
+	// Replay pacing: align the five sources on a shared virtual clock
+	// so no producer goroutine races a whole window ahead of the rest —
+	// the arrival interleaving a live deployment would deliver, and the
+	// ground the watermark staleness rule stands on. Chaos injection
+	// wraps *outside* the pacing, so a stalled mediator keeps pulling
+	// (and advancing the clock) while swallowing its items, exactly
+	// like a dead mediator whose upstream keeps transmitting.
+	pacer := streams.NewPacer(int64(s.cfg.Step) / 2)
+	arrivalOf := func(it streams.Item) (int64, bool) {
+		if it.Bool(itemEOF) {
+			return 0, false
 		}
-		if err := top.AddStream(id, streams.NewSliceSource(items...)); err != nil {
+		return it.Int(itemArrival), true
+	}
+	for _, id := range streamIDs {
+		items := append(perStream[id], streams.Item{itemSource: id, itemEOF: true})
+		var src streams.Source = streams.NewSliceSource(items...)
+		src = streams.NewPacedSource(src, pacer, id, int64(from), arrivalOf)
+		if spec, faulty := chaos.Streams[id]; faulty {
+			cs := streams.NewChaosSource(src, spec)
+			chaosSources[id] = cs
+			src = cs
+		}
+		if err := top.AddStream(id, src); err != nil {
 			return nil, err
 		}
 	}
@@ -106,9 +162,28 @@ func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
 		}
 		return it, nil
 	})
-	for _, id := range streamIDs {
-		if err := top.AddProcess("input-"+id, id, sdeQueue, validate); err != nil {
+	chaosProcs := make(map[string]*streams.ChaosProcessor)
+	for i, id := range streamIDs {
+		proc := streams.Processor(validate)
+		if chaos.InputErrProb > 0 {
+			cp := streams.NewChaosProcessor(validate, streams.FaultSpec{
+				Seed:    chaos.Seed + int64(i)*31,
+				ErrProb: chaos.InputErrProb,
+			})
+			chaosProcs[id] = cp
+			proc = cp
+		}
+		if err := top.AddProcess("input-"+id, id, sdeQueue, proc); err != nil {
 			return nil, err
+		}
+		if chaos.InputErrProb > 0 {
+			// Injected input faults cost the affected SDE, never the
+			// topology.
+			if err := top.Supervise("input-"+id, streams.SupervisionPolicy{
+				Strategy: streams.SkipItem,
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -125,8 +200,16 @@ func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
 		step:       s.cfg.Step,
 		nextQ:      from + s.cfg.Step,
 		until:      until,
+		staleness:  s.cfg.WatermarkStaleness,
 		watermarks: make(map[string]Time, len(streamIDs)),
-		expected:   len(streamIDs),
+		degraded:   make(map[string]bool),
+	}
+	// Every stream starts at the window origin: a stream that never
+	// reports holds the watermark at `from` (and, with a staleness
+	// bound, is eventually declared degraded) instead of being
+	// invisible to the minimum.
+	for _, id := range streamIDs {
+		rtecProc.watermarks[id] = from
 	}
 	crowdProc := streams.ProcessorFunc(func(it streams.Item) (streams.Item, error) {
 		rep, ok := it[itemReport].(*Report)
@@ -159,7 +242,7 @@ func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
 		return nil, err
 	}
 
-	return &Pipeline{Topology: top, Reports: sink, system: s}, nil
+	return &Pipeline{Topology: top, Reports: sink, Chaos: chaosSources, ChaosProcs: chaosProcs, system: s}, nil
 }
 
 // TrafficModelService is the service type under which the traffic
@@ -168,24 +251,40 @@ type TrafficModelService func(MapConfig) (*FlowEstimate, error)
 
 // rtecProcessor embeds the partitioned RTEC engines in the streams
 // framework. It forwards every SDE to the engines and fires query
-// evaluations when the minimum arrival watermark across the input
-// streams passes a query boundary — at that point every SDE arriving
-// by the boundary has been merged into the queue and consumed.
+// evaluations when the minimum arrival watermark across the *live*
+// input streams passes a query boundary — at that point every SDE
+// arriving by the boundary has been merged into the queue and
+// consumed.
+//
+// Watermark liveness: with a positive staleness bound, a stream whose
+// watermark trails the most advanced stream by more than the bound is
+// declared degraded and excluded from the minimum, so a silent SCATS
+// region cannot freeze city-wide recognition; the exclusion is
+// surfaced on every report fired while it holds. A recovered stream
+// rejoins the minimum, and its late SDEs re-enter recognition through
+// the ordinary delayed-arrival path (they sit in pending until a
+// boundary with arrival <= Q admits them, where the engines' dirty
+// watermark revises the affected window) — recognition semantics stay
+// exact, only boundary release timing adapts.
 type rtecProcessor struct {
-	system     *System
-	step       Time
-	nextQ      Time
-	until      Time
+	system *System
+	step   Time
+	nextQ  Time
+	until  Time
+	// staleness is the per-stream liveness bound; 0 disables
+	// degradation (a silent stream then blocks query boundaries until
+	// end of stream, the strict-watermark behaviour).
+	staleness  Time
 	watermarks map[string]Time
-	expected   int
+	degraded   map[string]bool
 	// pending buffers consumed SDEs until a query boundary admits
 	// them: at query time Q exactly the SDEs with arrival <= Q may
 	// have been delivered to the engines, as in a live deployment.
 	pending []pendingSDE
 	// due holds evaluated reports awaiting emission: a processor maps
 	// one item to at most one item, so simultaneous boundaries drain
-	// one per subsequent item (the punctuation padding guarantees
-	// enough of them).
+	// one per subsequent item; whatever is still due when the input
+	// ends is released by Flush.
 	due []streams.Item
 }
 
@@ -219,19 +318,45 @@ func (p *rtecProcessor) Process(it streams.Item) (streams.Item, error) {
 }
 
 // fireDue evaluates every query boundary the minimum arrival watermark
-// across the input streams has passed: at that point all SDEs arriving
-// by those boundaries have been consumed from the merge queue.
+// across the live input streams has passed: at that point all SDEs
+// arriving by those boundaries have been consumed from the merge
+// queue (modulo degraded streams, whose lateness is flagged on the
+// report instead of withholding it).
 func (p *rtecProcessor) fireDue(ctx context.Context) error {
-	if len(p.watermarks) < p.expected {
-		return nil // not every stream has reported yet
-	}
-	watermark := Time(0)
+	// The liveness rule: a stream trailing the most advanced one by
+	// more than the staleness bound is degraded and excluded from the
+	// minimum; it rejoins as soon as its watermark catches back up.
+	maxW := Time(0)
 	first := true
 	for _, w := range p.watermarks {
+		if first || w > maxW {
+			maxW, first = w, false
+		}
+	}
+	if p.staleness > 0 {
+		for id, w := range p.watermarks {
+			if maxW-w > p.staleness {
+				p.degraded[id] = true
+			} else {
+				delete(p.degraded, id)
+			}
+		}
+	}
+	watermark := Time(0)
+	first = true
+	for id, w := range p.watermarks {
+		if p.degraded[id] {
+			continue
+		}
 		if first || w < watermark {
 			watermark, first = w, false
 		}
 	}
+	var degradedIDs []string
+	for id := range p.degraded {
+		degradedIDs = append(degradedIDs, id)
+	}
+	sort.Strings(degradedIDs)
 	// Strictly greater: with equal arrival timestamps the merge queue
 	// may still hold a sibling item stamped exactly at the boundary.
 	for p.nextQ <= p.until && watermark > p.nextQ {
@@ -258,9 +383,27 @@ func (p *rtecProcessor) fireDue(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		rep.DegradedStreams = append([]string(nil), degradedIDs...)
+		rep.WatermarkLag = maxW - q
 		p.due = append(p.due, streams.Item{itemReport: rep})
 	}
 	return nil
+}
+
+// Flush implements streams.Flusher: when the merge queue is
+// exhausted, every input stream is over, so all remaining query
+// boundaries are due — lift the watermarks past the end and release
+// the backlog of reports in one go.
+func (p *rtecProcessor) Flush() ([]streams.Item, error) {
+	for id := range p.watermarks {
+		p.watermarks[id] = p.until + p.step
+	}
+	if err := p.fireDue(context.Background()); err != nil {
+		return nil, err
+	}
+	out := p.due
+	p.due = nil
+	return out, nil
 }
 
 // Run executes the pipeline and returns the reports in query-time

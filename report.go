@@ -58,6 +58,17 @@ type Report struct {
 	Alerts []Alert
 	// CrowdRounds are the crowdsourcing resolutions triggered.
 	CrowdRounds []CrowdResolution
+	// DegradedStreams lists the pipeline input streams that were
+	// excluded from the watermark minimum when this boundary fired:
+	// streams whose arrival watermark trailed the most advanced stream
+	// by more than Config.WatermarkStaleness (the transport-layer
+	// mirror of the paper's noisy-source self-adaptation). Empty in
+	// fault-free runs and in the direct (non-pipeline) Run loop.
+	DegradedStreams []string
+	// WatermarkLag is the gap between the most advanced stream's
+	// arrival watermark and Q when this boundary fired — the boundary
+	// release latency in stream time. Zero in the direct Run loop.
+	WatermarkLag Time
 	// Stats aggregates engine statistics across partitions.
 	Stats rtec.Stats
 	// FedEvents is the number of SDEs delivered this step.

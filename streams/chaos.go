@@ -1,0 +1,249 @@
+package streams
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Chaos injection. Urban sensor feeds drop, delay, duplicate and stall
+// in the field (the paper's mediators exist precisely to absorb this);
+// the chaos wrappers reproduce those faults deterministically so the
+// fault-tolerance layer can be exercised in tests and benchmarks. All
+// randomness is drawn from a seeded generator: the same FaultSpec over
+// the same input yields the same faulted stream, run after run.
+
+// ErrInjected is the root of every error a ChaosProcessor injects;
+// match it with errors.Is.
+var ErrInjected = errors.New("streams: injected chaos fault")
+
+// FaultSpec configures deterministic fault injection for a
+// ChaosSource or ChaosProcessor. The zero value injects nothing.
+type FaultSpec struct {
+	// Seed drives all sampling. Same seed, same faults.
+	Seed int64
+
+	// DropProb is the probability an item is silently lost.
+	DropProb float64
+	// DupProb is the probability an item is delivered twice.
+	DupProb float64
+	// DelayProb is the probability an item is held back and
+	// re-delivered out of order, after 1..DelayMax subsequent reads.
+	DelayProb float64
+	// DelayMax bounds the reorder distance (default 8).
+	DelayMax int
+
+	// StallAfter > 0 silences the source after it has produced that
+	// many items: a stalled mediator. Items arriving during the stall
+	// are buffered (the mediator's backlog).
+	StallAfter int
+	// StallFor is the length of the stall in swallowed items; once it
+	// elapses the backlog floods out ahead of new items (a reconnecting
+	// mediator delivering late SDEs). 0 means the source never
+	// recovers: the backlog is lost and the stream ends silently —
+	// a dead region.
+	StallFor int
+
+	// ErrProb is the probability a ChaosProcessor fails an item with
+	// ErrInjected instead of processing it.
+	ErrProb float64
+}
+
+// ChaosStats counts the faults a wrapper has injected so far.
+type ChaosStats struct {
+	Emitted    int // items delivered downstream
+	Dropped    int // items lost to DropProb
+	Duplicated int // extra deliveries from DupProb
+	Delayed    int // items re-ordered by DelayProb
+	Stalled    int // items swallowed or buffered by the stall window
+	Errors     int // errors injected (ChaosProcessor only)
+}
+
+type heldItem struct {
+	it  Item
+	due int // remaining reads before release
+}
+
+// ChaosSource wraps a Source and injects the faults of its spec. It is
+// safe for the single-reader use the topology gives sources; a mutex
+// guards stats for concurrent Stats calls.
+type ChaosSource struct {
+	mu      sync.Mutex
+	src     Source
+	spec    FaultSpec
+	rng     *rand.Rand
+	ready   []Item     // due for immediate delivery
+	held    []heldItem // delayed items counting down
+	backlog []Item     // stall buffer
+	pulled  int        // items pulled from the wrapped source
+	srcDone bool
+	stats   ChaosStats
+}
+
+// NewChaosSource wraps src with deterministic fault injection.
+func NewChaosSource(src Source, spec FaultSpec) *ChaosSource {
+	if spec.DelayMax < 1 {
+		spec.DelayMax = 8
+	}
+	return &ChaosSource{
+		src:  src,
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+	}
+}
+
+// Stats returns the fault counts so far.
+func (c *ChaosSource) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Read implements Source, delivering the faulted stream.
+func (c *ChaosSource) Read() (Item, bool) {
+	return c.ReadContext(context.Background())
+}
+
+// ReadContext implements ContextSource, forwarding cancellation to the
+// wrapped source when it supports it (a paced replay source above
+// all, whose alignment wait must not outlive the topology).
+func (c *ChaosSource) ReadContext(ctx context.Context) (Item, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Count down the held items once per read; due ones become ready.
+	kept := c.held[:0]
+	for _, h := range c.held {
+		h.due--
+		if h.due <= 0 {
+			c.ready = append(c.ready, h.it)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	c.held = kept
+	for {
+		if len(c.ready) > 0 {
+			it := c.ready[0]
+			c.ready = c.ready[1:]
+			c.stats.Emitted++
+			return it, true
+		}
+		if c.srcDone {
+			if c.spec.StallFor > 0 && len(c.backlog) > 0 {
+				// The feed ended while the mediator was still buffering:
+				// a recovering mediator reconnects at end of feed and
+				// delivers its backlog late.
+				c.ready = append(c.ready, c.backlog...)
+				c.backlog = nil
+				continue
+			}
+			if len(c.held) > 0 {
+				// No further reads would release them: flush in order.
+				for _, h := range c.held {
+					c.ready = append(c.ready, h.it)
+				}
+				c.held = nil
+				continue
+			}
+			// A never-recovering stall loses its backlog: dead region.
+			return nil, false
+		}
+		var it Item
+		var ok bool
+		if cs, isCtx := c.src.(ContextSource); isCtx {
+			it, ok = cs.ReadContext(ctx)
+		} else {
+			it, ok = c.src.Read()
+		}
+		if !ok {
+			c.srcDone = true
+			continue
+		}
+		c.pulled++
+		if c.spec.StallAfter > 0 && c.pulled > c.spec.StallAfter {
+			end := c.spec.StallAfter + c.spec.StallFor
+			if c.spec.StallFor <= 0 {
+				c.stats.Stalled++
+				continue // stalled forever: swallow
+			}
+			if c.pulled <= end {
+				c.stats.Stalled++
+				c.backlog = append(c.backlog, it)
+				continue // buffering during the stall
+			}
+			if len(c.backlog) > 0 {
+				// Stall over: the backlog floods out first (late
+				// items), then the item that ended the stall; none of
+				// them are re-faulted.
+				c.ready = append(c.ready, c.backlog...)
+				c.backlog = nil
+				c.ready = append(c.ready, it)
+				continue
+			}
+		}
+		if c.spec.DropProb > 0 && c.rng.Float64() < c.spec.DropProb {
+			c.stats.Dropped++
+			continue
+		}
+		if c.spec.DelayProb > 0 && c.rng.Float64() < c.spec.DelayProb {
+			c.stats.Delayed++
+			c.held = append(c.held, heldItem{it: it, due: 1 + c.rng.Intn(c.spec.DelayMax)})
+			continue
+		}
+		if c.spec.DupProb > 0 && c.rng.Float64() < c.spec.DupProb {
+			c.stats.Duplicated++
+			c.ready = append(c.ready, it.Clone())
+		}
+		c.stats.Emitted++
+		return it, true
+	}
+}
+
+// ChaosProcessor wraps a Processor and injects errors with
+// spec.ErrProb. Retrying the same item redraws the sample, so under a
+// Restart supervision policy an injected fault behaves like a
+// transient failure.
+type ChaosProcessor struct {
+	mu    sync.Mutex
+	inner Processor
+	spec  FaultSpec
+	rng   *rand.Rand
+	seen  int
+	stats ChaosStats
+}
+
+// NewChaosProcessor wraps inner with deterministic error injection.
+func NewChaosProcessor(inner Processor, spec FaultSpec) *ChaosProcessor {
+	return &ChaosProcessor{
+		inner: inner,
+		spec:  spec,
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+	}
+}
+
+// Stats returns the fault counts so far.
+func (c *ChaosProcessor) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Process implements Processor.
+func (c *ChaosProcessor) Process(it Item) (Item, error) {
+	c.mu.Lock()
+	c.seen++
+	n := c.seen
+	fail := c.spec.ErrProb > 0 && c.rng.Float64() < c.spec.ErrProb
+	if fail {
+		c.stats.Errors++
+	} else {
+		c.stats.Emitted++
+	}
+	c.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("%w (item %d)", ErrInjected, n)
+	}
+	return c.inner.Process(it)
+}

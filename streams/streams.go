@@ -37,27 +37,42 @@ func (it Item) String(key string) string {
 	return s
 }
 
-// Float returns a numeric attribute as float64.
+// Float returns a numeric attribute as float64. It coerces every
+// numeric payload type the feeds produce (float64/float32,
+// int/int32/int64, uint); anything else yields 0.
 func (it Item) Float(key string) float64 {
 	switch v := it[key].(type) {
 	case float64:
 		return v
+	case float32:
+		return float64(v)
 	case int:
 		return float64(v)
+	case int32:
+		return float64(v)
 	case int64:
+		return float64(v)
+	case uint:
 		return float64(v)
 	}
 	return 0
 }
 
-// Int returns a numeric attribute as int64.
+// Int returns a numeric attribute as int64, coercing the same payload
+// types as Float (floats are truncated).
 func (it Item) Int(key string) int64 {
 	switch v := it[key].(type) {
 	case int64:
 		return v
 	case int:
 		return int64(v)
+	case int32:
+		return int64(v)
+	case uint:
+		return int64(v)
 	case float64:
+		return int64(v)
+	case float32:
 		return int64(v)
 	}
 	return 0

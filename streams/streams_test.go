@@ -31,6 +31,39 @@ func TestItemAccessors(t *testing.T) {
 	}
 }
 
+func TestItemNumericCoercions(t *testing.T) {
+	cases := []struct {
+		name      string
+		value     any
+		wantFloat float64
+		wantInt   int64
+	}{
+		{"float64", float64(2.5), 2.5, 2},
+		{"float32", float32(1.5), 1.5, 1},
+		{"int", int(-4), -4, -4},
+		{"int32", int32(9), 9, 9},
+		{"int64", int64(12), 12, 12},
+		{"uint", uint(7), 7, 7},
+		{"string", "nope", 0, 0},
+		{"bool", true, 0, 0},
+		{"missing", nil, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			it := Item{}
+			if c.value != nil {
+				it["v"] = c.value
+			}
+			if got := it.Float("v"); got != c.wantFloat {
+				t.Errorf("Float(%T %v) = %v, want %v", c.value, c.value, got, c.wantFloat)
+			}
+			if got := it.Int("v"); got != c.wantInt {
+				t.Errorf("Int(%T %v) = %v, want %v", c.value, c.value, got, c.wantInt)
+			}
+		})
+	}
+}
+
 func TestSliceSource(t *testing.T) {
 	s := NewSliceSource(Item{"n": 1}, Item{"n": 2})
 	it1, ok1 := s.Read()

@@ -5,16 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Process is a node of the data flow graph: it reads items from its
 // input, pipes each through its processor chain and writes the
-// surviving items to its output.
+// surviving items to its output. Policy decides how processor errors
+// are handled (the zero value is fail-fast).
 type Process struct {
 	Name       string
 	Input      Source
 	Processors []Processor
 	Output     Sink // optional; nil discards
+	Policy     SupervisionPolicy
 }
 
 // ContextSource is an optional Source extension whose Read can be
@@ -29,9 +32,141 @@ type ContextSink interface {
 	WriteContext(context.Context, Item) error
 }
 
+// Flusher is an optional Processor extension. When a process's input
+// is exhausted, Flush is called once on each flushing processor (in
+// chain order); the returned items are piped through the remaining
+// processors and written to the process output before the process
+// exits. Stateful processors use it to emit buffered results that no
+// further input would otherwise release — e.g. the pipeline's event
+// processor flushing reports for query boundaries that became due
+// simultaneously at end of stream.
+type Flusher interface {
+	Flush() ([]Item, error)
+}
+
+// isolatedError marks a terminal process error whose policy confines
+// the failure to the process itself instead of aborting the topology.
+type isolatedError struct{ err error }
+
+func (e isolatedError) Error() string { return e.err.Error() }
+func (e isolatedError) Unwrap() error { return e.err }
+
+// sleepCtx sleeps d, returning false if the context is cancelled
+// first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// applyChain pipes the item through the processors starting at index
+// from. A nil item means the chain dropped it.
+func (p *Process) applyChain(from int, it Item) (Item, error) {
+	var err error
+	for _, proc := range p.Processors[from:] {
+		it, err = proc.Process(it)
+		if err != nil {
+			return nil, err
+		}
+		if it == nil {
+			return nil, nil
+		}
+	}
+	return it, nil
+}
+
+// processItem applies the processor chain under the process's
+// supervision policy. A nil item with nil error means the item was
+// dropped (by the chain or by dead-lettering).
+func (p *Process) processItem(ctx context.Context, sup *supervisor, it Item) (Item, error) {
+	out, err := p.applyChain(0, it)
+	if err == nil {
+		return out, nil
+	}
+	switch p.Policy.Strategy {
+	case SkipItem:
+		sup.deadLetter(p.Name, it, err, 1)
+		return nil, nil
+	case Restart:
+		retry := p.Policy.Retry.normalized()
+		for attempt := 1; attempt <= retry.MaxAttempts; attempt++ {
+			sup.retrying(p.Name, err)
+			if !sleepCtx(ctx, retry.Delay(attempt)) {
+				return nil, ctx.Err()
+			}
+			out, err = p.applyChain(0, it)
+			if err == nil {
+				sup.state(p.Name, HealthRunning, nil)
+				return out, nil
+			}
+		}
+		wrapped := fmt.Errorf("streams: process %q: %d attempts exhausted: %w",
+			p.Name, retry.MaxAttempts+1, err)
+		if p.Policy.OnExhausted == Isolate {
+			sup.deadLetter(p.Name, it, err, retry.MaxAttempts+1)
+			return nil, isolatedError{wrapped}
+		}
+		return nil, wrapped
+	default:
+		return nil, fmt.Errorf("streams: process %q: %w", p.Name, err)
+	}
+}
+
+// emit writes an item to the process output (context-aware when the
+// sink supports it).
+func (p *Process) emit(ctx context.Context, it Item) error {
+	var err error
+	if cs, isCtx := p.Output.(ContextSink); isCtx {
+		err = cs.WriteContext(ctx, it)
+	} else {
+		err = p.Output.Write(it)
+	}
+	if err != nil {
+		return fmt.Errorf("streams: process %q output: %w", p.Name, err)
+	}
+	return nil
+}
+
+// flush drains the flushing processors once the input is exhausted.
+// Flush errors are terminal regardless of policy: there is no next
+// item to skip to.
+func (p *Process) flush(ctx context.Context) error {
+	for i, proc := range p.Processors {
+		f, ok := proc.(Flusher)
+		if !ok {
+			continue
+		}
+		items, err := f.Flush()
+		if err != nil {
+			return fmt.Errorf("streams: process %q flush: %w", p.Name, err)
+		}
+		for _, it := range items {
+			out, err := p.applyChain(i+1, it)
+			if err != nil {
+				return fmt.Errorf("streams: process %q flush: %w", p.Name, err)
+			}
+			if out == nil || p.Output == nil {
+				continue
+			}
+			if err := p.emit(ctx, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // run pumps the process until its input is exhausted or the context
-// is cancelled.
-func (p *Process) run(ctx context.Context) error {
+// is cancelled, applying the supervision policy to processor errors.
+func (p *Process) run(ctx context.Context, sup *supervisor) error {
 	for {
 		select {
 		case <-ctx.Done():
@@ -49,28 +184,35 @@ func (p *Process) run(ctx context.Context) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			return nil
+			return p.flush(ctx)
 		}
-		var err error
-		for _, proc := range p.Processors {
-			it, err = proc.Process(it)
-			if err != nil {
-				return fmt.Errorf("streams: process %q: %w", p.Name, err)
-			}
-			if it == nil {
-				break
-			}
+		out, err := p.processItem(ctx, sup, it)
+		if err != nil {
+			return err
 		}
-		if it == nil || p.Output == nil {
+		if out == nil || p.Output == nil {
 			continue
 		}
-		if cs, isCtx := p.Output.(ContextSink); isCtx {
-			err = cs.WriteContext(ctx, it)
-		} else {
-			err = p.Output.Write(it)
+		if err := p.emit(ctx, out); err != nil {
+			return err
 		}
-		if err != nil {
-			return fmt.Errorf("streams: process %q output: %w", p.Name, err)
+	}
+}
+
+// drain consumes and discards a source until it ends or the context is
+// cancelled. It keeps upstream producers of an isolated process from
+// blocking on a full queue nobody reads any more.
+func drain(ctx context.Context, src Source) {
+	cs, isCtx := src.(ContextSource)
+	for {
+		var ok bool
+		if isCtx {
+			_, ok = cs.ReadContext(ctx)
+		} else {
+			_, ok = src.Read()
+		}
+		if !ok || ctx.Err() != nil {
+			return
 		}
 	}
 }
@@ -87,6 +229,8 @@ type Topology struct {
 	// writers counts the processes writing into each queue so the
 	// topology can close a queue when its last producer finishes.
 	writers map[*Queue]int
+	// sup tracks health and dead letters of the current (or last) run.
+	sup *supervisor
 }
 
 // NewTopology returns an empty topology.
@@ -207,15 +351,71 @@ func (t *Topology) AddProcess(name, inputID, outputID string, processors ...Proc
 	return nil
 }
 
+// Supervise sets the supervision policy of a named process. It must be
+// called after AddProcess and before Run.
+func (t *Topology) Supervise(processName string, policy SupervisionPolicy) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.processes {
+		if p.Name == processName {
+			p.Policy = policy
+			return nil
+		}
+	}
+	return fmt.Errorf("streams: supervise: unknown process %q", processName)
+}
+
+// Health returns the supervision state of every process, keyed by
+// process name, as of the current or most recent Run (idle states
+// before the first Run).
+func (t *Topology) Health() map[string]ProcessHealth {
+	t.mu.Lock()
+	sup := t.sup
+	processes := t.processes
+	t.mu.Unlock()
+	if sup == nil {
+		out := make(map[string]ProcessHealth, len(processes))
+		for _, p := range processes {
+			out[p.Name] = ProcessHealth{State: HealthIdle}
+		}
+		return out
+	}
+	return sup.snapshot()
+}
+
+// DeadLetters returns the items dead-lettered during the current or
+// most recent Run (capped at an internal retention limit; the per-
+// process Skipped counters are exact).
+func (t *Topology) DeadLetters() []DeadLetter {
+	t.mu.Lock()
+	sup := t.sup
+	t.mu.Unlock()
+	if sup == nil {
+		return nil
+	}
+	return sup.deadLetters()
+}
+
 // Run executes the data flow graph: one goroutine per process, until
 // every input stream is exhausted (queues are closed as their last
 // producers finish, which cascades shutdown through the graph) or the
-// context is cancelled. It returns the first process error, if any.
+// context is cancelled.
+//
+// Failure handling follows each process's supervision policy: only
+// fail-fast errors (and exhausted Restart policies with the Escalate
+// action) abort the topology; isolated and skipped failures are
+// recorded in Health and DeadLetters while the rest of the graph keeps
+// running. Run returns all aborting process errors joined with
+// errors.Join, preferring root causes: cancellation errors
+// (context.Canceled, context.DeadlineExceeded) induced by the unwind
+// are dropped from the joined error whenever a root cause exists.
 func (t *Topology) Run(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	t.mu.Lock()
 	processes := append([]*Process(nil), t.processes...)
+	sup := newSupervisor(processes)
+	t.sup = sup
 	writers := make(map[*Queue]*sync.WaitGroup, len(t.writers))
 	for q, n := range t.writers {
 		wg := &sync.WaitGroup{}
@@ -241,11 +441,21 @@ func (t *Topology) Run(ctx context.Context) error {
 		wg.Add(1)
 		go func(p *Process) {
 			defer wg.Done()
-			err := p.run(ctx)
+			err := p.run(ctx, sup)
 			if q, isQueue := p.Output.(*Queue); isQueue {
 				writers[q].Done()
 			}
-			if err != nil {
+			var iso isolatedError
+			switch {
+			case err == nil:
+				sup.state(p.Name, HealthDone, nil)
+			case errors.As(err, &iso):
+				// Confined failure: record it, keep the input flowing
+				// for the other consumers/producers, don't abort.
+				sup.state(p.Name, HealthFailed, iso.err)
+				go drain(ctx, p.Input)
+			default:
+				sup.state(p.Name, HealthFailed, err)
 				errs <- err
 				cancel() // unwind the rest of the graph
 			}
@@ -253,12 +463,21 @@ func (t *Topology) Run(ctx context.Context) error {
 	}
 	wg.Wait()
 	close(errs)
-	// Prefer the root-cause error over cancellations it induced.
-	var first error
+	// Prefer root-cause errors over the cancellations they induced;
+	// join every root cause so no co-failing process is hidden.
+	var roots, induced []error
 	for err := range errs {
-		if first == nil || (errors.Is(first, context.Canceled) && !errors.Is(err, context.Canceled)) {
-			first = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			induced = append(induced, err)
+			continue
 		}
+		roots = append(roots, err)
 	}
-	return first
+	if len(roots) > 0 {
+		return errors.Join(roots...)
+	}
+	if len(induced) > 0 {
+		return induced[0]
+	}
+	return nil
 }
