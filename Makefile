@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench check chaos bench-rtec figures experiments clean
+.PHONY: all build vet test test-short race cover bench check chaos bench-rtec bench-gp fuzz-short figures experiments clean
 
 all: build vet test
 
@@ -27,12 +27,17 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# CI gate: vet everything, then run the engine, rule-set and streams
-# backbone tests with the race detector (covers the parallel rule
-# evaluator and the topology supervision/shutdown paths).
+# CI gate: vet everything, then run the engine, rule-set, streams
+# backbone, linalg-kernel and GP tests with the race detector (covers
+# the parallel rule evaluator, the topology supervision/shutdown
+# paths, the blocked Cholesky/Mul/solve worker pools and the parallel
+# grid search), and finish with a short fuzz pass over the
+# factorization/solve targets.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./streams/... ./rtec/... ./traffic/...
+	$(GO) test -race ./streams/... ./rtec/... ./traffic/... ./internal/linalg/... ./gp/...
+	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 5s ./internal/linalg
+	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 5s ./internal/linalg
 
 # The chaos harness: the Dublin pipeline under deterministic fault
 # profiles, scored against its own fault-free run.
@@ -46,6 +51,20 @@ chaos:
 bench-rtec:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig4_EventRecognition|BenchmarkStepRatio' \
 		-count=5 -json . | tee BENCH_rtec.json
+
+# The GP linalg benches (kernel build, fit, predict-all, grid search at
+# n≈512, serial reference vs blocked/parallel kernels), 5 repetitions,
+# as a JSON event stream for later comparison. `go run ./cmd/gpbench`
+# prints the same stages as a human-readable speedup table.
+bench-gp:
+	$(GO) test -run '^$$' -bench 'BenchmarkGP_' -benchtime 1x \
+		-count=5 -json ./gp | tee BENCH_gp.json
+
+# ~10s of coverage-guided fuzzing per linalg target; regressions land
+# in internal/linalg/testdata/fuzz as permanent corpus seeds.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 10s ./internal/linalg
+	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 10s ./internal/linalg
 
 # Regenerate every figure of the paper's evaluation into ./results.
 figures:

@@ -1,0 +1,142 @@
+// Command gpbench measures the GP traffic-model linear algebra at city
+// scale: kernel build (regularized-Laplacian inversion), fit,
+// full-graph prediction and hyperparameter grid search, each timed in
+// two modes —
+//
+//	serial:  the retained reference kernels (linalg Options.Reference)
+//	         and a single-worker grid search — the seed's code path,
+//	blocked: the cache-blocked, multi-core kernels and the parallel
+//	         (alpha, fold) grid search.
+//
+// The report is a wall-clock table with per-stage speedups; `make
+// bench-gp` records the same stages as a `go test -bench` JSON stream
+// (BENCH_gp.json) for later comparison.
+//
+// Usage:
+//
+//	gpbench [-gridx 26] [-gridy 20] [-runs 3] [-seed 11] [-workers 0] [-block 64]
+//
+// The defaults build a 520-vertex Dublin street graph, the n≈512 scale
+// the blocked kernels are tuned for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"github.com/insight-dublin/insight/citygraph"
+	"github.com/insight-dublin/insight/gp"
+	"github.com/insight-dublin/insight/internal/linalg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpbench: ")
+	var (
+		gridX   = flag.Int("gridx", 26, "street grid width")
+		gridY   = flag.Int("gridy", 20, "street grid height")
+		runs    = flag.Int("runs", 3, "repetitions per stage; best run is reported")
+		seed    = flag.Int64("seed", 11, "city seed")
+		workers = flag.Int("workers", 0, "worker pool size for the blocked mode (0 = GOMAXPROCS)")
+		block   = flag.Int("block", 0, "block size for the blocked mode (0 = default)")
+	)
+	flag.Parse()
+
+	g := citygraph.GenerateDublin(citygraph.DublinConfig{GridX: *gridX, GridY: *gridY, Seed: *seed})
+	n := g.NumVertices()
+	fmt.Printf("graph: %d vertices, %d edges; GOMAXPROCS=%d, runs=%d (best reported)\n\n",
+		n, g.NumEdges(), runtime.GOMAXPROCS(0), *runs)
+
+	obsFit := observations(g, 2)
+	obsSearch := observations(g, 4)
+	alphas := []float64{0.5, 2, 8}
+	betas := []float64{0.1, 1, 5}
+
+	modes := []struct {
+		name    string
+		opts    linalg.Options
+		workers int
+	}{
+		{name: "serial", opts: linalg.Options{Reference: true}, workers: 1},
+		{name: "blocked", opts: linalg.Options{BlockSize: *block, Workers: *workers}, workers: *workers},
+	}
+
+	type stage struct {
+		name string
+		run  func(searchWorkers int) error
+	}
+	var (
+		kernel *gp.Kernel
+		reg    *gp.Regression
+	)
+	stages := []stage{
+		{name: "kernel build", run: func(int) error {
+			var err error
+			kernel, err = gp.RegularizedLaplacian(g, 2, 1)
+			return err
+		}},
+		{name: fmt.Sprintf("fit (%d obs)", len(obsFit)), run: func(int) error {
+			var err error
+			reg, err = gp.Fit(kernel, obsFit, 1)
+			return err
+		}},
+		{name: "predict all", run: func(int) error {
+			_, err := reg.PredictAll()
+			return err
+		}},
+		{name: fmt.Sprintf("grid search %dx%d (%d obs)", len(alphas), len(betas), len(obsSearch)), run: func(w int) error {
+			_, err := gp.GridSearchWith(g, obsSearch, alphas, betas, 1, 4, 1, gp.SearchOptions{Workers: w})
+			return err
+		}},
+	}
+
+	// best[stage][mode]
+	best := make([][]time.Duration, len(stages))
+	for si, st := range stages {
+		best[si] = make([]time.Duration, len(modes))
+		for mi, m := range modes {
+			prev := linalg.SetDefaultOptions(m.opts)
+			elapsed := time.Duration(math.MaxInt64)
+			for r := 0; r < *runs; r++ {
+				start := time.Now()
+				if err := st.run(m.workers); err != nil {
+					linalg.SetDefaultOptions(prev)
+					log.Fatalf("%s (%s): %v", st.name, m.name, err)
+				}
+				if d := time.Since(start); d < elapsed {
+					elapsed = d
+				}
+			}
+			linalg.SetDefaultOptions(prev)
+			best[si][mi] = elapsed
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "stage\tserial\tblocked\tspeedup\n")
+	var totSerial, totBlocked time.Duration
+	for si, st := range stages {
+		s, b := best[si][0], best[si][1]
+		totSerial += s
+		totBlocked += b
+		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\n", st.name, s.Round(time.Microsecond), b.Round(time.Microsecond),
+			float64(s)/float64(b))
+	}
+	fmt.Fprintf(w, "total\t%v\t%v\t%.2fx\n", totSerial.Round(time.Microsecond), totBlocked.Round(time.Microsecond),
+		float64(totSerial)/float64(totBlocked))
+	w.Flush()
+}
+
+func observations(g *citygraph.Graph, every int) []gp.Observation {
+	var obs []gp.Observation
+	for i := 0; i < g.NumVertices(); i += every {
+		obs = append(obs, gp.Observation{Vertex: i, Value: 300 + 150*math.Sin(float64(i)/17)})
+	}
+	return obs
+}

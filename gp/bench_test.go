@@ -1,0 +1,124 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/insight-dublin/insight/citygraph"
+	"github.com/insight-dublin/insight/internal/linalg"
+)
+
+// The GP performance benches behind `make bench-gp` (BENCH_gp.json):
+// kernel build, fit, predict-all and grid search at city scale
+// (n≈512 street-graph vertices), each in two modes —
+//
+//	serial:   Options{Reference: true} + Workers 1, the seed's naive
+//	          kernels and sequential search (the baseline),
+//	blocked:  the default blocked/parallel kernels and parallel search.
+//
+// Mode is flipped through linalg.SetDefaultOptions, so the whole GP
+// stack (Laplacian inversion, observed-block factorization, predictive
+// solves) switches implementation, not just one call site.
+
+func benchGraph512() *citygraph.Graph {
+	// 520 vertices with the default Dublin structure (river gap,
+	// diagonals) — the n≈512 scale of the acceptance target.
+	return citygraph.GenerateDublin(citygraph.DublinConfig{GridX: 26, GridY: 20, Seed: 11})
+}
+
+func benchObservations(g *citygraph.Graph, every int) []Observation {
+	var obs []Observation
+	for i := 0; i < g.NumVertices(); i += every {
+		obs = append(obs, Observation{Vertex: i, Value: 300 + 150*math.Sin(float64(i)/17)})
+	}
+	return obs
+}
+
+type benchMode struct {
+	name    string
+	opts    linalg.Options
+	workers int // SearchOptions.Workers for the grid search
+}
+
+var benchModes = []benchMode{
+	{name: "serial", opts: linalg.Options{Reference: true}, workers: 1},
+	{name: "blocked", opts: linalg.Options{}, workers: 0},
+}
+
+func BenchmarkGP_KernelBuild(b *testing.B) {
+	g := benchGraph512()
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			prev := linalg.SetDefaultOptions(m.opts)
+			defer linalg.SetDefaultOptions(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := RegularizedLaplacian(g, 2, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGP_Fit(b *testing.B) {
+	g := benchGraph512()
+	kernel, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := benchObservations(g, 2) // 260 observed vertices
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			prev := linalg.SetDefaultOptions(m.opts)
+			defer linalg.SetDefaultOptions(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := Fit(kernel, obs, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGP_PredictAll(b *testing.B) {
+	g := benchGraph512()
+	kernel, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := benchObservations(g, 2)
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			prev := linalg.SetDefaultOptions(m.opts)
+			defer linalg.SetDefaultOptions(prev)
+			reg, err := Fit(kernel, obs, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.PredictAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGP_GridSearch(b *testing.B) {
+	g := benchGraph512()
+	obs := benchObservations(g, 4) // 130 observed vertices
+	alphas := []float64{0.5, 2, 8}
+	betas := []float64{0.1, 1, 5}
+	for _, m := range benchModes {
+		b.Run(m.name, func(b *testing.B) {
+			prev := linalg.SetDefaultOptions(m.opts)
+			defer linalg.SetDefaultOptions(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := GridSearchWith(g, obs, alphas, betas, 1, 4, 1, SearchOptions{Workers: m.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"github.com/insight-dublin/insight/citygraph"
@@ -50,10 +51,12 @@ type Observation struct {
 // Kernel is a precomputed graph kernel over all vertices of a street
 // graph. Building it costs one SPD inversion (O(n³)); fitting and
 // predicting against it are then cheap, and the β hyperparameter is a
-// pure scaling that needs no recomputation.
+// pure scaling that needs no recomputation: Rescale returns a view
+// that shares the matrix and folds the factor into every access.
 type Kernel struct {
-	k *linalg.Matrix
-	n int
+	k     *linalg.Matrix
+	scale float64 // multiplies every entry of k; 1 for a freshly built kernel
+	n     int
 }
 
 // RegularizedLaplacian builds K = [β(L + I/α²)]⁻¹ for the graph.
@@ -72,23 +75,24 @@ func RegularizedLaplacian(g *citygraph.Graph, alpha, beta float64) (*Kernel, err
 	if err != nil {
 		return nil, fmt.Errorf("gp: kernel inversion: %w", err)
 	}
-	return &Kernel{k: inv, n: g.NumVertices()}, nil
+	return &Kernel{k: inv, scale: 1, n: g.NumVertices()}, nil
 }
 
 // NumVertices returns the kernel dimension.
 func (k *Kernel) NumVertices() int { return k.n }
 
 // At returns the covariance k(x_i, x_j).
-func (k *Kernel) At(i, j int) float64 { return k.k.At(i, j) }
+func (k *Kernel) At(i, j int) float64 { return k.scale * k.k.At(i, j) }
 
 // Rescale returns a view of the kernel with β multiplied by factor
-// (K' = K / factor), without re-inverting the Laplacian. GridSearch
-// uses this to sweep β cheaply.
+// (K' = K / factor), without re-inverting the Laplacian. The view
+// shares the underlying matrix — O(1) instead of the O(n²) clone the
+// seed paid per β — which is what lets GridSearch sweep β for free.
 func (k *Kernel) Rescale(factor float64) (*Kernel, error) {
 	if factor <= 0 {
 		return nil, fmt.Errorf("gp: rescale factor must be positive, got %v", factor)
 	}
-	return &Kernel{k: k.k.Clone().Scale(1 / factor), n: k.n}, nil
+	return &Kernel{k: k.k, scale: k.scale / factor, n: k.n}, nil
 }
 
 // Regression is a GP fitted to observations. Build with Fit.
@@ -182,6 +186,9 @@ func Fit(k *Kernel, obs []Observation, noiseVar float64) (*Regression, error) {
 	}
 
 	kuu := k.k.Submatrix(observed, observed)
+	if k.scale != 1 {
+		kuu.Scale(k.scale)
+	}
 	for i, nv := range noises {
 		kuu.Add(i, i, nv/(scale*scale))
 	}
@@ -247,13 +254,33 @@ type GridSearchResult struct {
 	Evaluated int
 }
 
+// SearchOptions tune GridSearchWith.
+type SearchOptions struct {
+	// Workers bounds the goroutines used for the (α, fold) work units
+	// (and the per-α kernel builds). 0 means GOMAXPROCS; 1 is fully
+	// serial. The result is bit-identical for every Workers value:
+	// work units are independent and the best-(α, β) reduction is a
+	// serial scan in grid order.
+	Workers int
+}
+
 // GridSearch chooses (α, β) by k-fold cross-validation of the
 // predictive mean over the observations, mirroring the paper's
 // "hyperparameters are chosen in advance using grid search within the
 // interval [0, …, 10]" (zero itself is excluded: the kernel is
-// undefined there). The Laplacian is inverted once per α; β values
-// reuse it via rescaling.
+// undefined there), with the default parallelism.
 func GridSearch(g *citygraph.Graph, obs []Observation, alphas, betas []float64, noiseVar float64, folds int, seed int64) (GridSearchResult, error) {
+	return GridSearchWith(g, obs, alphas, betas, noiseVar, folds, seed, SearchOptions{})
+}
+
+// GridSearchWith is GridSearch with explicit options. The Laplacian is
+// inverted once per α (the O(n³) part, run in parallel across the α
+// grid); β values reuse it through O(1) rescale views; fold partitions
+// are materialized once up front (the seed rebuilt them for every
+// (α, β, fold) triple); and cross-validation fans out over (α, fold)
+// work units. Ties on RMSE resolve to the earliest (α, β) in grid
+// order, independent of scheduling.
+func GridSearchWith(g *citygraph.Graph, obs []Observation, alphas, betas []float64, noiseVar float64, folds int, seed int64, opt SearchOptions) (GridSearchResult, error) {
 	if len(alphas) == 0 || len(betas) == 0 {
 		return GridSearchResult{}, fmt.Errorf("gp: empty hyperparameter grid")
 	}
@@ -264,47 +291,100 @@ func GridSearch(g *citygraph.Graph, obs []Observation, alphas, betas []float64, 
 		return GridSearchResult{}, fmt.Errorf("gp: %d observations cannot fill %d folds", len(obs), folds)
 	}
 	perm := rand.New(rand.NewSource(seed)).Perm(len(obs))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	best := GridSearchResult{RMSE: math.Inf(1)}
-	for _, a := range alphas {
-		base, err := RegularizedLaplacian(g, a, 1)
+	// Fold partitions, once. Fold f tests the observations at positions
+	// i ≡ f (mod folds) of the permutation and trains on the rest —
+	// identical to the seed's per-triple rebuild.
+	train := make([][]Observation, folds)
+	test := make([][]Observation, folds)
+	for f := 0; f < folds; f++ {
+		for i, pi := range perm {
+			if i%folds == f {
+				test[f] = append(test[f], obs[pi])
+			} else {
+				train[f] = append(train[f], obs[pi])
+			}
+		}
+	}
+
+	// One Laplacian inversion per α, in parallel.
+	bases := make([]*Kernel, len(alphas))
+	baseErr := make([]error, len(alphas))
+	linalg.ParallelFor(workers, len(alphas), func(ai int) {
+		bases[ai], baseErr[ai] = RegularizedLaplacian(g, alphas[ai], 1)
+	})
+	for _, err := range baseErr {
 		if err != nil {
 			return GridSearchResult{}, err
 		}
-		for _, b := range betas {
-			k, err := base.Rescale(b)
+	}
+
+	// Cross-validation over independent (α, fold) units; each unit
+	// scores every β against its fold, writing only its own cells.
+	type cell struct {
+		sqErr float64
+		count int
+	}
+	partial := make([][][]cell, len(alphas)) // [α][fold][β]
+	unitErr := make([][]error, len(alphas))
+	for ai := range alphas {
+		partial[ai] = make([][]cell, folds)
+		unitErr[ai] = make([]error, folds)
+	}
+	linalg.ParallelFor(workers, len(alphas)*folds, func(u int) {
+		ai, f := u/folds, u%folds
+		scores := make([]cell, len(betas))
+		vertices := make([]int, len(test[f]))
+		for i, o := range test[f] {
+			vertices[i] = o.Vertex
+		}
+		for bi, b := range betas {
+			k, err := bases[ai].Rescale(b)
 			if err != nil {
+				unitErr[ai][f] = err
+				return
+			}
+			reg, err := Fit(k, train[f], noiseVar)
+			if err != nil {
+				unitErr[ai][f] = err
+				return
+			}
+			mean, _, err := reg.Predict(vertices)
+			if err != nil {
+				unitErr[ai][f] = err
+				return
+			}
+			for i, o := range test[f] {
+				d := mean[i] - o.Value
+				scores[bi].sqErr += d * d
+				scores[bi].count++
+			}
+		}
+		partial[ai][f] = scores
+	})
+	for ai := range alphas {
+		for f := 0; f < folds; f++ {
+			if err := unitErr[ai][f]; err != nil {
 				return GridSearchResult{}, err
 			}
+		}
+	}
+
+	// Serial reduction in grid order: deterministic sums and a strict-<
+	// comparison make the winner independent of scheduling, with ties
+	// going to the earliest grid point.
+	best := GridSearchResult{RMSE: math.Inf(1)}
+	for ai, a := range alphas {
+		for bi, b := range betas {
 			var sqErr float64
 			var count int
 			for f := 0; f < folds; f++ {
-				var train []Observation
-				var test []Observation
-				for i, pi := range perm {
-					if i%folds == f {
-						test = append(test, obs[pi])
-					} else {
-						train = append(train, obs[pi])
-					}
-				}
-				reg, err := Fit(k, train, noiseVar)
-				if err != nil {
-					return GridSearchResult{}, err
-				}
-				vertices := make([]int, len(test))
-				for i, o := range test {
-					vertices[i] = o.Vertex
-				}
-				mean, _, err := reg.Predict(vertices)
-				if err != nil {
-					return GridSearchResult{}, err
-				}
-				for i, o := range test {
-					d := mean[i] - o.Value
-					sqErr += d * d
-					count++
-				}
+				sqErr += partial[ai][f][bi].sqErr
+				count += partial[ai][f][bi].count
 			}
 			rmse := math.Sqrt(sqErr / float64(count))
 			best.Evaluated++

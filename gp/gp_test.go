@@ -404,3 +404,225 @@ func TestGridSearchML(t *testing.T) {
 		t.Error("no observations must error")
 	}
 }
+
+func TestGridSearchWorkersBitIdentical(t *testing.T) {
+	// The parallel search must return the exact same GridSearchResult —
+	// every float bit — regardless of the worker count: work units are
+	// independent and the reduction is a serial scan in grid order.
+	g := citygraph.GenerateDublin(citygraph.DublinConfig{GridX: 10, GridY: 7, Seed: 3})
+	truth := func(i int) float64 { return 200 + 120*math.Sin(float64(i)/9) }
+	var obs []Observation
+	for i := 0; i < g.NumVertices(); i += 3 {
+		obs = append(obs, Observation{Vertex: i, Value: truth(i)})
+	}
+	alphas := []float64{0.5, 2, 8}
+	betas := []float64{0.1, 1, 5}
+	want, err := GridSearchWith(g, obs, alphas, betas, 1, 4, 7, SearchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Evaluated != 9 || math.IsInf(want.RMSE, 1) {
+		t.Fatalf("serial search result implausible: %+v", want)
+	}
+	for _, workers := range []int{4, 8} {
+		got, err := GridSearchWith(g, obs, alphas, betas, 1, 4, 7, SearchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Workers=%d: result %+v differs from serial %+v", workers, got, want)
+		}
+	}
+	// The option-less wrapper uses default parallelism and must agree too.
+	got, err := GridSearch(g, obs, alphas, betas, 1, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("GridSearch default result %+v differs from serial %+v", got, want)
+	}
+}
+
+func TestRescaleIsView(t *testing.T) {
+	// Rescale must not clone the n×n matrix: views share the backing
+	// array and fold the factor into every access.
+	g := pathGraph(6)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := k.Rescale(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &kr.k.Data[0] != &k.k.Data[0] {
+		t.Error("Rescale cloned the kernel matrix")
+	}
+	if math.Abs(kr.At(1, 2)-k.At(1, 2)/4) > 1e-15 {
+		t.Errorf("view scaling wrong: %v vs %v", kr.At(1, 2), k.At(1, 2))
+	}
+	// Stacked views compose multiplicatively.
+	krr, err := kr.Rescale(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(krr.At(0, 0)-k.At(0, 0)/10) > 1e-15 {
+		t.Errorf("stacked rescale broken: %v vs %v", krr.At(0, 0), k.At(0, 0)/10)
+	}
+	// And a fit against the view must match a fit against a directly
+	// built kernel with the same effective β.
+	direct, err := RegularizedLaplacian(g, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []Observation{{Vertex: 0, Value: 80}, {Vertex: 5, Value: 20}}
+	rView, err := Fit(krr, obs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rDirect, err := Fit(direct, obs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, _, err := rView.Predict([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _, err := rDirect.Predict([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mv {
+		if math.Abs(mv[i]-md[i]) > 1e-9 {
+			t.Errorf("view fit diverges from direct fit: %v vs %v", mv, md)
+		}
+	}
+}
+
+func TestFitHeterogeneousNoiseCombinesWithDefault(t *testing.T) {
+	// A default-noise reading (Noise: 0 → noiseVar) and an explicit-
+	// noise reading at the same vertex must fuse by inverse-variance
+	// weighting: equivalent to one observation at the fused value with
+	// the combined precision.
+	g := pathGraph(5)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const noiseVar = 0.1
+	mixed := []Observation{
+		{Vertex: 2, Value: 10},             // uses noiseVar
+		{Vertex: 2, Value: 40, Noise: 0.3}, // explicit
+		{Vertex: 0, Value: 25},
+	}
+	fusedValue := (10/noiseVar + 40/0.3) / (1/noiseVar + 1/0.3)
+	fusedNoise := 1 / (1/noiseVar + 1/0.3)
+	fused := []Observation{
+		{Vertex: 2, Value: fusedValue, Noise: fusedNoise},
+		{Vertex: 0, Value: 25},
+	}
+	rMixed, err := Fit(k, mixed, noiseVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFused, err := Fit(k, fused, noiseVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, vm, err := rMixed.Predict([]int{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, vf, err := rFused.Predict([]int{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mm {
+		if math.Abs(mm[i]-mf[i]) > 1e-9 || math.Abs(vm[i]-vf[i]) > 1e-9 {
+			t.Errorf("mixed-noise fusion diverges: mean %v vs %v, var %v vs %v", mm, mf, vm, vf)
+		}
+	}
+}
+
+func TestFitConstantObservationsScaleFloor(t *testing.T) {
+	// All-equal observations have zero empirical variance; the scale
+	// floor must keep the fit finite and reproduce the constant.
+	g := pathGraph(6)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []Observation{{Vertex: 0, Value: 42}, {Vertex: 2, Value: 42}, {Vertex: 5, Value: 42}}
+	reg, err := Fit(k, obs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance, err := reg.Predict([]int{0, 2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range mean {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("constant fit produced %v at %d", m, i)
+		}
+		if math.Abs(m-42) > 5 {
+			t.Errorf("prediction %d = %v, want ≈ 42", i, m)
+		}
+		if variance[i] < 0 || math.IsNaN(variance[i]) {
+			t.Errorf("variance %d = %v", i, variance[i])
+		}
+	}
+}
+
+func TestFitDuplicateAveragingDeterministic(t *testing.T) {
+	g := pathGraph(5)
+	k, err := RegularizedLaplacian(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []Observation{
+		{Vertex: 1, Value: 10}, {Vertex: 1, Value: 20}, {Vertex: 1, Value: 60, Noise: 0.4},
+		{Vertex: 3, Value: 5}, {Vertex: 3, Value: 7},
+	}
+	// Same input order: results must be bit-identical run to run (the
+	// per-vertex accumulation must not leak map iteration order).
+	r1, err := Fit(k, obs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fit(k, obs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, v1, err := r1.Predict([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, v2, err := r2.Predict([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] || v1[i] != v2[i] {
+			t.Errorf("repeated Fit not bit-identical: %v vs %v", m1, m2)
+		}
+	}
+	// Permuted duplicates: same model up to floating-point tolerance.
+	perm := []Observation{
+		{Vertex: 3, Value: 7}, {Vertex: 1, Value: 60, Noise: 0.4}, {Vertex: 3, Value: 5},
+		{Vertex: 1, Value: 20}, {Vertex: 1, Value: 10},
+	}
+	rp, err := Fit(k, perm, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, _, err := rp.Predict([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		if math.Abs(m1[i]-mp[i]) > 1e-9 {
+			t.Errorf("duplicate order changed the model: %v vs %v", m1, mp)
+		}
+	}
+}

@@ -68,7 +68,7 @@ func RandomWalkKernel(g *citygraph.Graph, a float64, p int) (*Kernel, error) {
 	if maxDiag > 0 {
 		k.Scale(1 / maxDiag)
 	}
-	return &Kernel{k: k, n: g.NumVertices()}, nil
+	return &Kernel{k: k, scale: 1, n: g.NumVertices()}, nil
 }
 
 // NewKernelFromMatrix wraps a caller-supplied covariance matrix as a
@@ -82,5 +82,5 @@ func NewKernelFromMatrix(m *linalg.Matrix) (*Kernel, error) {
 	if !m.Symmetric(1e-9) {
 		return nil, fmt.Errorf("gp: kernel matrix must be symmetric")
 	}
-	return &Kernel{k: m, n: m.Rows}, nil
+	return &Kernel{k: m, scale: 1, n: m.Rows}, nil
 }

@@ -1,0 +1,329 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The equivalence harness that locks down the blocked/parallel
+// kernels: every (size, block, workers) cell of a seeded grid must
+// reproduce the retained naive reference within refTol, and for a
+// fixed block size the bits must not depend on the worker count at
+// all. This is the same discipline PR 1 used for the incremental RTEC
+// engine (full-vs-incremental equivalence over randomized streams).
+
+const refTol = 1e-10
+
+// The seeded grid. Sizes cross the serial-fallback boundary (n <= nb),
+// exact block multiples (32, 64, 512), ragged last panels (257), and
+// every tiny n. Block 1 degenerates to outer-product form, block 100
+// never divides the sizes evenly.
+var (
+	eqSizes   = []int{1, 2, 3, 4, 5, 6, 7, 32, 64, 257, 512}
+	eqBlocks  = []int{1, 8, 32, 100}
+	eqWorkers = []int{1, 2, 8}
+)
+
+// eqCase returns false for grid cells too slow to be worth running:
+// under the race detector the big sizes are ~10-20× slower, and
+// block=1 at big n drowns in per-tile scheduling overhead by design.
+func eqCase(n, block int) bool {
+	if n >= 257 && block < 32 {
+		return false
+	}
+	if raceEnabled && n >= 257 {
+		return false
+	}
+	return true
+}
+
+func TestBlockedCholeskyMatchesReference(t *testing.T) {
+	for _, n := range eqSizes {
+		r := rand.New(rand.NewSource(int64(1000 + n)))
+		a := randomSPD(r, n)
+		want, err := naiveCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		for _, block := range eqBlocks {
+			if !eqCase(n, block) {
+				continue
+			}
+			var w1 *Matrix
+			for _, workers := range eqWorkers {
+				c, err := NewCholeskyWith(a, Options{BlockSize: block, Workers: workers})
+				if err != nil {
+					t.Fatalf("n=%d block=%d workers=%d: %v", n, block, workers, err)
+				}
+				if !matApproxEqual(c.L, want, refTol) {
+					t.Fatalf("n=%d block=%d workers=%d: L diverges from reference by more than %v",
+						n, block, workers, refTol)
+				}
+				// Workers must not change a single bit.
+				if w1 == nil {
+					w1 = c.L
+				} else if !reflect.DeepEqual(c.L.Data, w1.Data) {
+					t.Fatalf("n=%d block=%d: factor depends on worker count (%d)", n, block, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockedMulMatchesReference(t *testing.T) {
+	for _, n := range eqSizes {
+		r := rand.New(rand.NewSource(int64(2000 + n)))
+		// Rectangular shapes around n exercise non-square tiling.
+		a := randomMatrix(r, n, n+3)
+		b := randomMatrix(r, n+3, max(n-1, 1))
+		want := naiveMul(a, b)
+		for _, block := range eqBlocks {
+			if !eqCase(n, block) {
+				continue
+			}
+			var w1 *Matrix
+			for _, workers := range eqWorkers {
+				got := a.MulWith(b, Options{BlockSize: block, Workers: workers})
+				if !matApproxEqual(got, want, refTol) {
+					t.Fatalf("n=%d block=%d workers=%d: product diverges from reference", n, block, workers)
+				}
+				if w1 == nil {
+					w1 = got
+				} else if !reflect.DeepEqual(got.Data, w1.Data) {
+					t.Fatalf("n=%d block=%d: product depends on worker count (%d)", n, block, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockedSolveMatchesReference(t *testing.T) {
+	for _, n := range eqSizes {
+		r := rand.New(rand.NewSource(int64(3000 + n)))
+		a := randomSPD(r, n)
+		lRef, err := naiveCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		// Multi-RHS shapes: single column, ragged, full n×n (Inverse).
+		for _, m := range []int{1, 3, n} {
+			bm := randomMatrix(r, n, m)
+			want := naiveSolve(lRef, bm)
+			bv := make([]float64, n)
+			for i := range bv {
+				bv[i] = r.NormFloat64()
+			}
+			wantVec := naiveSolveVec(lRef, bv)
+			for _, block := range eqBlocks {
+				if !eqCase(n, block) {
+					continue
+				}
+				var w1 *Matrix
+				for _, workers := range eqWorkers {
+					c, err := NewCholeskyWith(a, Options{BlockSize: block, Workers: workers})
+					if err != nil {
+						t.Fatalf("n=%d block=%d workers=%d: %v", n, block, workers, err)
+					}
+					got := c.Solve(bm)
+					if !matApproxEqual(got, want, refTol) {
+						t.Fatalf("n=%d m=%d block=%d workers=%d: Solve diverges from reference", n, m, block, workers)
+					}
+					gotVec := c.SolveVec(bv)
+					for i := range wantVec {
+						if !approxEqual(gotVec[i], wantVec[i], refTol) {
+							t.Fatalf("n=%d block=%d workers=%d: SolveVec[%d] = %v, want %v",
+								n, block, workers, i, gotVec[i], wantVec[i])
+						}
+					}
+					if w1 == nil {
+						w1 = got
+					} else if !reflect.DeepEqual(got.Data, w1.Data) {
+						t.Fatalf("n=%d m=%d block=%d: solve depends on worker count (%d)", n, m, block, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Inverse has its own structured path (triangular forward result,
+// symmetric mirror) distinct from Solve(Identity); it must match the
+// reference inverse on the same grid, be exactly symmetric, and not
+// depend on the worker count.
+func TestBlockedInverseMatchesReference(t *testing.T) {
+	for _, n := range eqSizes {
+		r := rand.New(rand.NewSource(int64(4000 + n)))
+		a := randomSPD(r, n)
+		lRef, err := naiveCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		want := naiveSolve(lRef, Identity(n))
+		for _, block := range eqBlocks {
+			if !eqCase(n, block) {
+				continue
+			}
+			var w1 *Matrix
+			for _, workers := range eqWorkers {
+				c, err := NewCholeskyWith(a, Options{BlockSize: block, Workers: workers})
+				if err != nil {
+					t.Fatalf("n=%d block=%d workers=%d: %v", n, block, workers, err)
+				}
+				got := c.Inverse()
+				if !matApproxEqual(got, want, refTol) {
+					t.Fatalf("n=%d block=%d workers=%d: Inverse diverges from reference", n, block, workers)
+				}
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						if got.At(i, j) != got.At(j, i) {
+							t.Fatalf("n=%d block=%d: Inverse not exactly symmetric at (%d,%d)", n, block, i, j)
+						}
+					}
+				}
+				if w1 == nil {
+					w1 = got
+				} else if !reflect.DeepEqual(got.Data, w1.Data) {
+					t.Fatalf("n=%d block=%d: Inverse depends on worker count (%d)", n, block, workers)
+				}
+			}
+		}
+	}
+}
+
+// The reference itself must solve the system it claims to: anchor the
+// harness so a bug in naiveCholesky cannot silently bless the blocked
+// kernels.
+func TestReferenceSolvesSystem(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, n := range []int{1, 5, 32, 64} {
+		a := randomSPD(r, n)
+		l, err := naiveCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got := naiveSolveVec(l, b)
+		for i := range x {
+			if !approxEqual(got[i], x[i], 1e-8) {
+				t.Fatalf("n=%d: reference solve[%d] = %v, want %v", n, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+// Reference mode must expose exactly the naive path through the public
+// API (this is what gpbench's serial baseline runs).
+func TestReferenceOptionUsesNaivePath(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	a := randomSPD(r, 65) // above the default block fallback
+	c, err := NewCholeskyWith(a, Options{Reference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := naiveCholesky(a)
+	if !reflect.DeepEqual(c.L.Data, want.Data) {
+		t.Fatal("Reference factorization is not the naive factorization")
+	}
+	if c.lt != nil {
+		t.Fatal("Reference mode must not cache the transpose")
+	}
+	b := randomMatrix(r, 65, 4)
+	if !reflect.DeepEqual(c.Solve(b).Data, naiveSolve(want, b).Data) {
+		t.Fatal("Reference Solve is not the naive solve")
+	}
+	m := randomMatrix(r, 65, 65)
+	if !reflect.DeepEqual(m.MulWith(b, Options{Reference: true}).Data, naiveMul(m, b).Data) {
+		t.Fatal("Reference Mul is not the naive product")
+	}
+}
+
+func TestSetDefaultOptionsRoundTrip(t *testing.T) {
+	prev := SetDefaultOptions(Options{BlockSize: 8, Workers: 2})
+	defer SetDefaultOptions(prev)
+	if got := DefaultOptions(); got.BlockSize != 8 || got.Workers != 2 {
+		t.Fatalf("DefaultOptions = %+v", got)
+	}
+	if restored := SetDefaultOptions(prev); restored.BlockSize != 8 {
+		t.Fatalf("SetDefaultOptions returned %+v, want the replaced value", restored)
+	}
+	// The option-less API must honour the defaults (Reference mode has
+	// no cached transpose — observable via the naive solve path).
+	SetDefaultOptions(Options{Reference: true})
+	r := rand.New(rand.NewSource(9))
+	c, err := NewCholesky(randomSPD(r, 70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.lt != nil {
+		t.Fatal("NewCholesky ignored the package-wide Reference option")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		hits := make([]int, n)
+		done := make([]chan struct{}, n)
+		for i := range done {
+			done[i] = make(chan struct{}, 1)
+		}
+		ParallelFor(workers, n, func(i int) {
+			hits[i]++ // disjoint writes; -race verifies the claim
+			done[i] <- struct{}{}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	ParallelFor(4, 0, func(int) { t.Fatal("n=0 must not call fn") })
+}
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestSubmatrixBoundsPanic(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	cases := []struct {
+		rows, cols []int
+		want       string
+	}{
+		{[]int{0, 2}, []int{0}, "row index 2"},
+		{[]int{-1}, []int{0}, "row index -1"},
+		{[]int{0}, []int{5}, "column index 5"},
+		{[]int{1}, []int{-3}, "column index -3"},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Submatrix(%v, %v) must panic", tc.rows, tc.cols)
+					return
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "linalg: Submatrix") || !strings.Contains(msg, tc.want) {
+					t.Errorf("Submatrix(%v, %v) panic = %q, want mention of %q", tc.rows, tc.cols, msg, tc.want)
+				}
+			}()
+			a.Submatrix(tc.rows, tc.cols)
+		}()
+	}
+	// In-range index sets still work.
+	if got := a.Submatrix([]int{1}, []int{0, 1}); got.At(0, 1) != 4 {
+		t.Errorf("valid Submatrix broken: %+v", got)
+	}
+}

@@ -4,6 +4,13 @@
 // solves and inversion. It is deliberately small — just enough for
 // K = [β(L + I/α²)]⁻¹ and the GP predictive equations of Section 6 —
 // and has no dependencies beyond the standard library.
+//
+// The hot kernels (Cholesky, Mul, multi-RHS Solve) are cache-blocked
+// and run on a bounded worker pool; see Options for the BlockSize and
+// Workers knobs and the determinism guarantees. The seed's naive
+// serial implementations are retained (reference.go) as the ground
+// truth for the property/fuzz equivalence suite and as the serial
+// baseline for benchmarks, reachable via Options{Reference: true}.
 package linalg
 
 import (
@@ -82,25 +89,47 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
-// Mul returns the matrix product m·o.
-func (m *Matrix) Mul(o *Matrix) *Matrix {
+// Mul returns the matrix product m·o using the package-wide default
+// options.
+func (m *Matrix) Mul(o *Matrix) *Matrix { return m.MulWith(o, DefaultOptions()) }
+
+// MulWith returns the matrix product m·o, tiled over BlockSize panels
+// of the inner dimension and parallel over row blocks. Per output
+// element the inner products accumulate in the same k-order as the
+// reference, so the result is bit-identical to naiveMul for finite
+// inputs and independent of Workers.
+func (m *Matrix) MulWith(o *Matrix, opts Options) *Matrix {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
+	nb := opts.blockSize()
+	if opts.Reference || (m.Rows <= nb && m.Cols <= nb) {
+		return naiveMul(m, o)
+	}
 	out := NewMatrix(m.Rows, o.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*o.Cols : (i+1)*o.Cols]
-		for k, mv := range mrow {
-			if mv == 0 {
-				continue
-			}
-			okRow := o.Data[k*o.Cols : (k+1)*o.Cols]
-			for j, ov := range okRow {
-				orow[j] += mv * ov
+	rowBlocks := (m.Rows + nb - 1) / nb
+	ParallelFor(opts.workers(), rowBlocks, func(t int) {
+		i0 := t * nb
+		i1 := min(i0+nb, m.Rows)
+		// Panel the inner dimension so the nb touched rows of o stay
+		// cache-resident across the whole row block.
+		for k0 := 0; k0 < m.Cols; k0 += nb {
+			k1 := min(k0+nb, m.Cols)
+			for i := i0; i < i1; i++ {
+				mrow := m.Data[i*m.Cols+k0 : i*m.Cols+k1]
+				orow := out.Data[i*o.Cols : (i+1)*o.Cols]
+				for kk, mv := range mrow {
+					if mv == 0 {
+						continue
+					}
+					okRow := o.Data[(k0+kk)*o.Cols : (k0+kk+1)*o.Cols]
+					for j, ov := range okRow {
+						orow[j] += mv * ov
+					}
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -153,7 +182,19 @@ func (m *Matrix) AddDiag(v float64) *Matrix {
 }
 
 // Submatrix extracts the rows and cols index sets into a new matrix.
+// Out-of-range indexes panic with a message naming the offending index
+// and the valid range (rather than a raw slice-bounds panic from Data).
 func (m *Matrix) Submatrix(rows, cols []int) *Matrix {
+	for _, ri := range rows {
+		if ri < 0 || ri >= m.Rows {
+			panic(fmt.Sprintf("linalg: Submatrix row index %d out of range [0, %d)", ri, m.Rows))
+		}
+	}
+	for _, cj := range cols {
+		if cj < 0 || cj >= m.Cols {
+			panic(fmt.Sprintf("linalg: Submatrix column index %d out of range [0, %d)", cj, m.Cols))
+		}
+	}
 	out := NewMatrix(len(rows), len(cols))
 	for i, ri := range rows {
 		for j, cj := range cols {
@@ -176,112 +217,6 @@ func (m *Matrix) Symmetric(tol float64) bool {
 		}
 	}
 	return true
-}
-
-// Cholesky is the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
-type Cholesky struct {
-	L *Matrix
-}
-
-// NewCholesky factorizes the SPD matrix a. It returns ErrNotSPD if a
-// is not square or a pivot is non-positive.
-func NewCholesky(a *Matrix) (*Cholesky, error) {
-	if a.Rows != a.Cols {
-		return nil, ErrNotSPD
-	}
-	n := a.Rows
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		var d float64 = a.At(j, j)
-		for k := 0; k < j; k++ {
-			ljk := l.At(j, k)
-			d -= ljk * ljk
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
-		}
-		dj := math.Sqrt(d)
-		l.Set(j, j, dj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/dj)
-		}
-	}
-	return &Cholesky{L: l}, nil
-}
-
-// SolveVec solves A·x = b for x given the factorization of A.
-func (c *Cholesky) SolveVec(b []float64) []float64 {
-	n := c.L.Rows
-	if len(b) != n {
-		panic("linalg: dimension mismatch in SolveVec")
-	}
-	// Forward substitution: L·y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		row := c.L.Data[i*n : i*n+i]
-		for k, lv := range row {
-			s -= lv * y[k]
-		}
-		y[i] = s / c.L.At(i, i)
-	}
-	// Back substitution: Lᵀ·x = y.
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.L.At(k, i) * x[k]
-		}
-		x[i] = s / c.L.At(i, i)
-	}
-	return x
-}
-
-// Solve solves A·X = B column-by-column.
-func (c *Cholesky) Solve(b *Matrix) *Matrix {
-	n := c.L.Rows
-	if b.Rows != n {
-		panic("linalg: dimension mismatch in Solve")
-	}
-	out := NewMatrix(n, b.Cols)
-	col := make([]float64, n)
-	for j := 0; j < b.Cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
-		}
-		x := c.SolveVec(col)
-		for i := 0; i < n; i++ {
-			out.Set(i, j, x[i])
-		}
-	}
-	return out
-}
-
-// Inverse returns A⁻¹ from the factorization.
-func (c *Cholesky) Inverse() *Matrix {
-	return c.Solve(Identity(c.L.Rows))
-}
-
-// LogDet returns log|A| from the factorization.
-func (c *Cholesky) LogDet() float64 {
-	var s float64
-	for i := 0; i < c.L.Rows; i++ {
-		s += math.Log(c.L.At(i, i))
-	}
-	return 2 * s
-}
-
-// InverseSPD inverts a symmetric positive-definite matrix.
-func InverseSPD(a *Matrix) (*Matrix, error) {
-	c, err := NewCholesky(a)
-	if err != nil {
-		return nil, err
-	}
-	return c.Inverse(), nil
 }
 
 // Dot returns the inner product of two equal-length vectors.

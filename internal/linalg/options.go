@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlockSize is the tile edge used by the blocked kernels when
+// Options.BlockSize is zero. 64×64 float64 tiles are 32 KiB — three of
+// them (the shapes the trailing updates touch) fit comfortably in a
+// per-core L2 cache.
+const DefaultBlockSize = 64
+
+// Options tune the blocked, parallel kernels (Cholesky factorization,
+// matrix product, batched triangular solves). The zero value asks for
+// the defaults: DefaultBlockSize tiles and GOMAXPROCS workers.
+//
+// Results are deterministic in Workers: every output element is
+// computed by exactly one task with a fixed operation order, so the
+// same inputs and BlockSize give bit-identical results for any worker
+// count. Results may differ from the reference implementations in the
+// last few ulps (different but equally valid summation orders); the
+// equivalence test suite pins the difference below 1e-10 across the
+// supported size/block grid.
+type Options struct {
+	// BlockSize is the tile edge (panel width) of the blocked kernels.
+	// 0 means DefaultBlockSize. Inputs no larger than one block fall
+	// back to the serial reference code — blocking has nothing to win
+	// there.
+	BlockSize int
+	// Workers bounds the goroutines used per kernel invocation.
+	// 0 means GOMAXPROCS; 1 forces serial execution of the blocked
+	// kernels.
+	Workers int
+	// Reference forces the retained naive (seed) implementations:
+	// unblocked Cholesky, cache-oblivious product, column-at-a-time
+	// solves. This is the baseline the property tests and the gpbench
+	// serial phase compare against.
+	Reference bool
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize > 0 {
+		return o.BlockSize
+	}
+	return DefaultBlockSize
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// defaultOptions holds the package-wide Options used by the
+// option-less entry points (Mul, NewCholesky, Cholesky.Solve, …).
+// It is an atomic.Value so benchmarks can flip the whole GP stack
+// between reference and blocked kernels without a data race.
+var defaultOptions atomic.Value
+
+func init() { defaultOptions.Store(Options{}) }
+
+// DefaultOptions returns the package-wide options.
+func DefaultOptions() Options { return defaultOptions.Load().(Options) }
+
+// SetDefaultOptions replaces the package-wide options and returns the
+// previous value, so callers can restore it:
+//
+//	prev := linalg.SetDefaultOptions(linalg.Options{Reference: true})
+//	defer linalg.SetDefaultOptions(prev)
+func SetDefaultOptions(o Options) Options {
+	prev := DefaultOptions()
+	defaultOptions.Store(o)
+	return prev
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on up to workers
+// goroutines. Tasks are claimed from an atomic counter, so scheduling
+// is dynamic but outputs stay deterministic as long as distinct tasks
+// write disjoint data. workers <= 1 (or n <= 1) runs inline with no
+// goroutines at all.
+func ParallelFor(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

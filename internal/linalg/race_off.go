@@ -1,0 +1,9 @@
+//go:build !race
+
+package linalg
+
+// raceEnabled reports whether the race detector is compiled in. The
+// equivalence suite skips its largest matrix sizes under -race (the
+// instrumented inner loops are ~10-20× slower); every code path is
+// still raced at the smaller sizes.
+const raceEnabled = false
