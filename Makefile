@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench check chaos bench-rtec bench-gp fuzz-short figures experiments clean
+.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-gp fuzz-short figures experiments clean
 
 all: build vet test
 
@@ -27,15 +27,21 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# CI gate: vet everything, then run the engine, rule-set, streams
-# backbone, linalg-kernel and GP tests with the race detector (covers
-# the parallel rule evaluator, the topology supervision/shutdown
-# paths, the blocked Cholesky/Mul/solve worker pools and the parallel
-# grid search), and finish with a short fuzz pass over the
+# The repo's own analyzer suite (cmd/insightlint): determinism,
+# goroutine-leak, hot-path allocation, float-equality and lock/alias
+# rules over every package. Exits nonzero on any finding; suppress a
+# deliberate violation at the site with `//lint:allow rule reason`.
+lint:
+	$(GO) run ./cmd/insightlint
+
+# CI gate: vet everything, run the repo's own analyzer suite, run the
+# full module under the race detector (engine, rule sets, streams
+# supervision/shutdown, blocked linalg worker pools, parallel grid
+# search), and finish with a short fuzz pass over the
 # factorization/solve targets.
-check:
+check: lint
 	$(GO) vet ./...
-	$(GO) test -race ./streams/... ./rtec/... ./traffic/... ./internal/linalg/... ./gp/...
+	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 5s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 5s ./internal/linalg
 

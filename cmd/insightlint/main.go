@@ -1,0 +1,89 @@
+// Command insightlint runs the repository's static-analysis suite
+// (internal/analysis) over every package in the module and prints
+// findings as
+//
+//	file:line:col: [rule] message
+//
+// exiting nonzero when anything fires. It is stdlib-only: packages are
+// loaded with go/parser, type-checked with go/types against compiled
+// stdlib export data, and each rule is a pure function over the loaded
+// package.
+//
+// Usage:
+//
+//	insightlint [-only rule,rule] [-skip rule,rule] [-list] [-C dir]
+//
+// Suppress an individual finding with a trailing or preceding comment
+//
+//	//lint:allow rule justification
+//
+// or a whole declaration by putting the comment in its doc comment.
+// See the "Static analysis" section of DESIGN.md for the rule
+// catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/insight-dublin/insight/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated list: run only these analyzers")
+	skip := flag.String("skip", "", "comma-separated list: skip these analyzers")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	dir := flag.String("C", ".", "module root (or any directory inside it)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if err := run(*dir, *only, *skip); err != nil {
+		fmt.Fprintln(os.Stderr, "insightlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(dir, only, skip string) error {
+	analyzers, err := analysis.Select(only, skip)
+	if err != nil {
+		return err
+	}
+	if len(analyzers) == 0 {
+		return fmt.Errorf("no analyzers selected")
+	}
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return err
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		// Module-root-relative paths keep the output stable across
+		// checkouts (and clickable from the repo root).
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	fmt.Fprintf(os.Stderr, "insightlint: %d packages, %d analyzers, %d findings\n",
+		len(pkgs), len(analyzers), len(diags))
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -99,7 +99,7 @@ func (l *Ledger) Balances() []Balance {
 		out = append(out, Balance{Participant: id, Earned: e, Tasks: l.tasks[id]})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Earned != out[j].Earned {
+		if out[i].Earned != out[j].Earned { //lint:allow floateq exact compare inside a comparator: any consistent order is correct, ties fall through to ID
 			return out[i].Earned > out[j].Earned
 		}
 		return out[i].Participant < out[j].Participant

@@ -135,7 +135,7 @@ func SelectNearest(k int, maxMeters float64) Selection {
 			eligible = append(eligible, scored{p, d})
 		}
 		sort.Slice(eligible, func(i, j int) bool {
-			if eligible[i].d != eligible[j].d {
+			if eligible[i].d != eligible[j].d { //lint:allow floateq exact compare inside a comparator: any consistent order is correct, ties fall through to ID
 				return eligible[i].d < eligible[j].d
 			}
 			return eligible[i].p.ID < eligible[j].p.ID
@@ -159,7 +159,7 @@ func SelectMostReliable(k int, est *Estimator) Selection {
 		out := append([]Participant(nil), candidates...)
 		sort.Slice(out, func(i, j int) bool {
 			pi, pj := est.ErrorProb(out[i].ID), est.ErrorProb(out[j].ID)
-			if pi != pj {
+			if pi != pj { //lint:allow floateq exact compare inside a comparator: any consistent order is correct, ties fall through to ID
 				return pi < pj
 			}
 			return out[i].ID < out[j].ID

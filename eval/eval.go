@@ -11,6 +11,7 @@ package eval
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/insight-dublin/insight/interval"
 )
@@ -95,12 +96,14 @@ func (t *Timeline) Add(key string, l interval.List) {
 // Get returns key's accumulated intervals.
 func (t *Timeline) Get(key string) interval.List { return t.spans[key] }
 
-// Keys returns the keys with any recognised interval.
+// Keys returns the keys with any recognised interval, sorted so
+// scoring sweeps visit them in a run-stable order.
 func (t *Timeline) Keys() []string {
 	out := make([]string, 0, len(t.spans))
 	for k := range t.spans {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -186,7 +186,7 @@ func Fit(k *Kernel, obs []Observation, noiseVar float64) (*Regression, error) {
 	}
 
 	kuu := k.k.Submatrix(observed, observed)
-	if k.scale != 1 {
+	if k.scale != 1 { //lint:allow floateq exact sentinel: Rescale sets 1 literally, meaning "no rescale applied"
 		kuu.Scale(k.scale)
 	}
 	for i, nv := range noises {

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoroutineLeak flags `go` statements in exported functions whose
+// spawned work has no visible way to stop or be waited for: the
+// closure neither receives from a channel (ctx.Done(), a quit channel,
+// a work queue that closes) nor signals a sync.WaitGroup-style
+// counter. PR 2's supervision machinery assumes every goroutine the
+// backbone starts can be joined during shutdown — an unjoined,
+// uncancellable goroutine in an exported entry point is exactly how
+// the pre-PR-2 topology leaked under faults.
+//
+// Goroutines that run a named function are checked by their call
+// arguments: passing a context.Context or a channel counts as a
+// cancellation path.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "flags go statements in exported functions with no cancellation or join path",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goStmtJoinable(pass, gs) {
+					pass.Reportf(gs.Pos(), "goroutine in exported %s has no visible cancellation (ctx.Done/quit channel) or join (WaitGroup)", funcName(fd))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// goStmtJoinable reports whether the goroutine has a visible stop or
+// join path.
+func goStmtJoinable(pass *Pass, gs *ast.GoStmt) bool {
+	info := pass.Pkg.Info
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		joinable := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if joinable {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				// A receive (<-ch) means the goroutine listens to some
+				// channel: a quit signal, a work queue or ctx.Done().
+				if n.Op == token.ARROW {
+					joinable = true
+				}
+			case *ast.RangeStmt:
+				// range over a channel drains until close: joined by
+				// whoever closes it.
+				if tv, ok := info.Types[n.X]; ok {
+					if isChan(tv.Type) {
+						joinable = true
+					}
+				}
+			case *ast.CallExpr:
+				// wg.Done() (often deferred) joins the goroutine;
+				// wg.Wait() bounds its lifetime by the group it waits
+				// for; ctx.Done() in a select is covered by the
+				// receive case, but a bare call still counts.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+					joinable = true
+				}
+			}
+			return !joinable
+		})
+		return joinable
+	}
+	// Named function or method: a context or channel argument (or
+	// receiver method on a type we cannot see into) is the visible
+	// cancellation path; with neither, nothing can stop it.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := info.Types[arg]; ok {
+			if isContextType(tv.Type) || isChan(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// hotPathFuncs maps hot-path packages (by import-path suffix) to a
+// regexp over function names: only matching functions are held to the
+// allocation-free standard. internal/linalg is kernels throughout; in
+// rtec the store's window views and eviction are the per-query inner
+// loop (PR 1's O(log n) contract), while rule evaluation legitimately
+// builds result maps.
+var hotPathFuncs = map[string]*regexp.Regexp{
+	"internal/linalg": regexp.MustCompile(`.*`),
+	"rtec":            regexp.MustCompile(`^(window|windowForKey|sliceSpan|trimBefore|evict|dirtyFloor|insertSorted|dot4)$`),
+}
+
+// HotAlloc flags allocation sites inside the innermost loop bodies of
+// hot-path functions: composite literals, make, append (which may
+// grow), string concatenation and interface boxing. PR 3's blocked
+// kernels get their throughput from allocation-free inner loops (the
+// 4-accumulator dot products, the tile sweeps); an alloc introduced
+// there is a silent multi-× regression the equivalence tests cannot
+// see. Cold paths inside a hot loop (error/panic construction) are
+// fine — annotate them with //lint:allow hotalloc and a justification.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocations in the innermost loops of hot-path kernel functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	var hotRe *regexp.Regexp
+	for suffix, re := range hotPathFuncs {
+		if pkgMatches(pass.Pkg.Path, []string{suffix}) {
+			hotRe = re
+			break
+		}
+	}
+	if hotRe == nil {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotRe.MatchString(fd.Name.Name) {
+				continue
+			}
+			name := funcName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				body := loopBody(n)
+				if body == nil || !innermostLoop(body) {
+					return true
+				}
+				checkHotLoop(pass, name, body)
+				return true
+			})
+		}
+	}
+}
+
+// loopBody returns the body of a for/range statement, or nil.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// innermostLoop reports whether body contains no nested loop (nested
+// function literals are opaque: their loops are analyzed when the
+// literal itself is walked).
+func innermostLoop(body *ast.BlockStmt) bool {
+	inner := false
+	walkShallow(body, func(n ast.Node) bool {
+		if ast.Node(body) != n && loopBody(n) != nil {
+			inner = true
+		}
+		return !inner
+	})
+	return !inner
+}
+
+// checkHotLoop reports every allocation site directly inside body.
+func checkHotLoop(pass *Pass, fn string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	walkShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "composite literal allocates in the innermost loop of hot function %s", fn)
+			return false // don't re-flag nested literals
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n, "panic"):
+				// A reached panic ends the loop: everything evaluated
+				// for its argument is the cold path.
+				return false
+			case isBuiltin(info, n, "make"):
+				pass.Reportf(n.Pos(), "make allocates in the innermost loop of hot function %s", fn)
+			case isBuiltin(info, n, "append"):
+				pass.Reportf(n.Pos(), "append may grow its backing array in the innermost loop of hot function %s", fn)
+			default:
+				checkBoxing(pass, fn, n)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation allocates in the innermost loop of hot function %s", fn)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxing flags call arguments that convert a concrete value to an
+// interface parameter — each such conversion may heap-allocate.
+func checkBoxing(pass *Pass, fn string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		if _, argIface := at.Type.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "interface conversion (boxing) may allocate in the innermost loop of hot function %s", fn)
+	}
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ItemAlias flags functions that retain a reference to an input
+// streams.Item (a map) beyond the call: storing the item — or a
+// composite wrapping it — into a field, a map/slice reachable from a
+// receiver or parameter, or an outer-scope variable, and appending it
+// to such a slice. The supervision/dead-letter machinery of PR 2
+// snapshots items on the failure path and the chaos duplicator re-uses
+// them; both are only sound if processors treat the input map as
+// borrowed for the duration of Process and store it.Clone() when they
+// need to keep state. Forwarding (returning the item or sending it
+// on a channel) transfers ownership and is fine. Deliberate
+// ownership-transfer sinks annotate with //lint:allow itemalias.
+var ItemAlias = &Analyzer{
+	Name: "itemalias",
+	Doc:  "flags processors that retain a reference to an input streams.Item beyond the call",
+	Run:  runItemAlias,
+}
+
+func runItemAlias(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			items := itemParams(info, fd)
+			if len(items) == 0 {
+				continue
+			}
+			checkItemRetention(pass, fd, items)
+		}
+	}
+}
+
+// itemParams collects the objects of Item-typed parameters and
+// receivers of fd.
+func itemParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	items := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil && isItemType(obj.Type()) {
+					items[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	if len(items) == 0 {
+		return nil
+	}
+	return items
+}
+
+func checkItemRetention(pass *Pass, fd *ast.FuncDecl, items map[types.Object]bool) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) && len(as.Lhs) != 1 {
+				break
+			}
+			lhs := as.Lhs[min(i, len(as.Lhs)-1)]
+			// x = append(retained, it): the append target decides
+			// whether the item escapes.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+				if len(call.Args) < 2 {
+					continue
+				}
+				argRetains := false
+				for _, a := range call.Args[1:] {
+					if retainsItemRef(info, a, items) {
+						argRetains = true
+					}
+				}
+				if argRetains && (retainedLocation(info, fd, call.Args[0]) || retainedLocation(info, fd, lhs)) {
+					name := exprItemName(info, call.Args, items)
+					pass.Reportf(rhs.Pos(), "input Item %s is appended to state that outlives the call; append %s.Clone() instead", name, name)
+				}
+				continue
+			}
+			if retainsItemRef(info, rhs, items) && retainedLocation(info, fd, lhs) {
+				name := exprItemName(info, as.Rhs, items)
+				pass.Reportf(rhs.Pos(), "input Item %s is stored beyond the call; store %s.Clone() instead", name, name)
+			}
+		}
+		return true
+	})
+}
+
+// retainsItemRef reports whether evaluating expr yields a reference to
+// one of the tracked item maps: the bare identifier, possibly wrapped
+// in composite literals or address-of. Reads through the map
+// (it[k], len(it)) and calls (it.Clone()) do not retain.
+func retainsItemRef(info *types.Info, expr ast.Expr, items map[types.Object]bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return items[info.Uses[e]]
+	case *ast.UnaryExpr:
+		return retainsItemRef(info, e.X, items)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if retainsItemRef(info, el, items) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// retainedLocation reports whether the expression denotes storage that
+// outlives fd's call: a field selector, an index into a map/slice, or
+// a variable — in each case rooted at an identifier declared outside
+// the function body (receiver, parameter, closure capture or package
+// variable).
+func retainedLocation(info *types.Info, fd *ast.FuncDecl, expr ast.Expr) bool {
+	root := expr
+	for {
+		switch e := ast.Unparen(root).(type) {
+		case *ast.SelectorExpr:
+			root = e.X
+		case *ast.IndexExpr:
+			root = e.X
+		case *ast.StarExpr:
+			root = e.X
+		default:
+			// Whether a plain variable, or the root of a
+			// selector/index chain: storage retains the item iff it is
+			// declared outside the function body (receiver, parameter,
+			// closure capture or package variable). Purely local
+			// structures that never escape are fine.
+			id, ok := ast.Unparen(root).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			return declaredOutside(info, id, fd.Body, fd.Body)
+		}
+	}
+}
+
+// exprItemName returns the name of the first tracked item identifier
+// in exprs, for the message.
+func exprItemName(info *types.Info, exprs []ast.Expr, items map[types.Object]bool) string {
+	for _, e := range exprs {
+		name := ""
+		ast.Inspect(e, func(n ast.Node) bool {
+			if name != "" {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && items[info.Uses[id]] {
+				name = id.Name
+			}
+			return true
+		})
+		if name != "" {
+			return name
+		}
+	}
+	return "item"
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags signatures and range clauses that copy a value
+// containing a sync primitive (Mutex, RWMutex, WaitGroup, Cond, Once,
+// Pool, Map): a copied lock guards nothing, and the supervision and
+// topology state of the streams backbone is exactly the kind of
+// mutex-bearing struct that must only travel by pointer. `go vet`'s
+// copylocks catches assignment sites; this rule additionally pins down
+// the declarations — by-value receivers, parameters and results — so
+// the mistake is reported where the API is defined, not where it is
+// first called.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flags by-value receivers/params/results and range copies of lock-bearing structs",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := funcName(fd)
+			check := func(fl *ast.FieldList, what string) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					tv, ok := info.Types[field.Type]
+					if !ok {
+						continue
+					}
+					if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+						continue
+					}
+					if lp := lockPath(tv.Type); lp != "" {
+						pass.Reportf(field.Type.Pos(), "%s of %s passes %s by value (contains %s); use a pointer", what, name, tv.Type.String(), lp)
+					}
+				}
+			}
+			check(fd.Recv, "receiver")
+			if fd.Type.Params != nil {
+				check(fd.Type.Params, "parameter")
+			}
+			if fd.Type.Results != nil {
+				check(fd.Type.Results, "result")
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || rng.Value == nil {
+					return true
+				}
+				// The value in `for _, v := range xs` is a defining
+				// ident, recorded in Defs rather than Types; TypeOf
+				// covers both.
+				vt := info.TypeOf(rng.Value)
+				if vt == nil {
+					return true
+				}
+				if _, isPtr := vt.Underlying().(*types.Pointer); isPtr {
+					return true
+				}
+				if lp := lockPath(vt); lp != "" {
+					pass.Reportf(rng.Value.Pos(), "range clause copies %s by value (contains %s); range over indices instead", vt.String(), lp)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose results must be bit-stable
+// across runs and Workers counts: the recognition engine, the traffic
+// model and its kernels, and every synthetic-data generator the
+// equivalence harnesses replay. Matched by import-path suffix.
+var deterministicPkgs = []string{
+	"insight", "rtec", "gp", "internal/linalg", "interval", "crowd",
+	"crowd/qee", "dublin", "citygraph", "traffic", "geo", "eval",
+}
+
+// nondetRandOK are the math/rand package-level functions that do NOT
+// draw from the unseeded global source and are therefore fine.
+var nondetRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// NoDeterminism flags wall-clock reads, unseeded global math/rand
+// draws and order-dependent map iteration inside the deterministic
+// packages. Those are exactly the constructs that made "same seed,
+// same result" a convention rather than a property; PR 1's
+// full-vs-incremental equivalence and PR 3's cross-Workers
+// bit-identity both assume none of them exist on the result path.
+// Wall-clock instrumentation that feeds only Stats fields is
+// legitimate — annotate it with //lint:allow nodeterminism and a
+// justification.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "flags time.Now, unseeded math/rand and order-dependent map iteration in deterministic packages",
+	Run:  runNoDeterminism,
+}
+
+func runNoDeterminism(pass *Pass) {
+	if !pkgMatches(pass.Pkg.Path, deterministicPkgs) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgCall(info, n, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now in a deterministic package: results must not depend on wall-clock time")
+				}
+				if obj := calleeObj(info, n); obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "math/rand" && !nondetRandOK[obj.Name()] {
+					// Only package-level functions draw from the global
+					// source; methods on a *rand.Rand are seeded by
+					// whoever built it.
+					fn, isFunc := obj.(*types.Func)
+					if isFunc && fn.Type().(*types.Signature).Recv() == nil {
+						pass.Reportf(n.Pos(), "math/rand.%s draws from the unseeded global source: use rand.New(rand.NewSource(seed))", obj.Name())
+					}
+				}
+			}
+			// Range statements are inspected per statement list so the
+			// tail of the list is available for sanitizer detection.
+			var stmts []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				stmts = n.List
+			case *ast.CaseClause:
+				stmts = n.Body
+			case *ast.CommClause:
+				stmts = n.Body
+			}
+			for i, stmt := range stmts {
+				if ls, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = ls.Stmt
+				}
+				if rng, ok := stmt.(*ast.RangeStmt); ok {
+					checkMapRange(pass, rng, stmts[i+1:])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sortSanitizers are the stdlib in-place sorts that restore a
+// deterministic order after collecting from a map. The comparator
+// variants are trusted to be total — that is the caller's contract.
+var sortSanitizers = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether the tail statements sort the named
+// object in place with a stdlib sort.
+func sortedAfter(info *types.Info, obj types.Object, tail []ast.Stmt) bool {
+	for _, stmt := range tail {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fn := calleeObj(info, call)
+		if fn == nil || fn.Pkg() == nil || !sortSanitizers[fn.Pkg().Path()][fn.Name()] {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && info.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRange flags `range m` over a map when the body makes the
+// iteration order observable: appending to a slice that outlives the
+// loop, sending on a channel, or writing formatted output. Map order
+// is randomized per run in Go, so any of those makes output
+// run-dependent. Collect-then-sort is the canonical remedy: an
+// in-place stdlib sort of the appended slice later in the same
+// statement list sanitizes the append.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, tail []ast.Stmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	report := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(), "map iteration order leaks into output: loop body %s; iterate sorted keys instead", what)
+	}
+	done := false
+	walkShallow(rng.Body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n, "sends on a channel")
+			done = true
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "append") && len(n.Args) > 0 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok && declaredOutside(info, id, rng, rng) &&
+					!sortedAfter(info, info.Uses[id], tail) {
+					report(n, "appends to "+id.Name+", declared outside the loop")
+					done = true
+				}
+			}
+			if obj := calleeObj(info, n); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				switch obj.Name() {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					report(n, "writes output via fmt."+obj.Name())
+					done = true
+				}
+			}
+		}
+		return !done
+	})
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//lint:allow rule[,rule...] [justification]
+//
+// and silence the named rules:
+//
+//   - on the same source line as the comment (trailing comment), or
+//   - on the line immediately below (comment on its own line), or
+//   - throughout a declaration, when the comment is part of a func or
+//     type doc comment.
+//
+// The justification text is free-form but expected by review
+// convention; the burn-down rule of this repo is that every allow
+// carries one.
+const allowPrefix = "//lint:allow"
+
+// suppressor answers "is this diagnostic allowed?" for one package.
+type suppressor struct {
+	// lines maps filename -> line -> rules allowed at that line.
+	lines map[string]map[int]map[string]bool
+	// spans are whole-declaration suppressions from doc comments.
+	spans []supSpan
+}
+
+type supSpan struct {
+	file       string
+	start, end int
+	rules      map[string]bool
+}
+
+// parseAllow extracts the rule set from one comment, or nil.
+func parseAllow(text string) map[string]bool {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	rules := make(map[string]bool)
+	for _, r := range strings.Split(fields[0], ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules[r] = true
+		}
+	}
+	return rules
+}
+
+func newSuppressor(pkg *Package) *suppressor {
+	s := &suppressor{lines: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules := parseAllow(c.Text)
+				if rules == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := s.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					s.lines[pos.Filename] = byLine
+				}
+				if byLine[pos.Line] == nil {
+					byLine[pos.Line] = make(map[string]bool)
+				}
+				for r := range rules {
+					byLine[pos.Line][r] = true
+				}
+			}
+		}
+		// Doc-comment allows cover the whole declaration.
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			rules := make(map[string]bool)
+			for _, c := range doc.List {
+				for r := range parseAllow(c.Text) {
+					rules[r] = true
+				}
+			}
+			if len(rules) == 0 {
+				continue
+			}
+			start := pkg.Fset.Position(decl.Pos())
+			end := pkg.Fset.Position(decl.End())
+			s.spans = append(s.spans, supSpan{
+				file: start.Filename, start: start.Line, end: end.Line, rules: rules,
+			})
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is covered by an allow comment.
+func (s *suppressor) suppressed(d Diagnostic) bool {
+	if byLine := s.lines[d.Pos.Filename]; byLine != nil {
+		// Same line (trailing comment) or the line above (standalone
+		// comment preceding the flagged statement).
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+			if rules := byLine[line]; rules != nil && rules[d.Rule] {
+				return true
+			}
+		}
+	}
+	for _, span := range s.spans {
+		if span.file == d.Pos.Filename && span.start <= d.Pos.Line && d.Pos.Line <= span.end && span.rules[d.Rule] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+// Package fefix exercises the floateq analyzer.
+package fefix
+
+// Eq compares floats exactly: flagged.
+func Eq(a, b float64) bool { return a == b }
+
+// Neq compares floats exactly: flagged.
+func Neq(a, b float64) bool { return a != b }
+
+// F32 compares float32 exactly: flagged.
+func F32(a, b float32) bool { return a == b }
+
+// NaN is the x != x idiom: fine.
+func NaN(a float64) bool { return a != a }
+
+// Zero compares against an exact-zero literal: fine.
+func Zero(a float64) bool { return a == 0 }
+
+// Ints are not floats: fine.
+func Ints(a, b int) bool { return a == b }
+
+// Tol uses a tolerance: fine.
+func Tol(a, b float64) bool { return abs(a-b) <= 1e-9 }
+
+// Allowed is suppressed inline.
+func Allowed(a, b float64) bool {
+	return a == b //lint:allow floateq fixture: sanctioned exact compare
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,92 @@
+// Package glfix exercises the goroutineleak analyzer.
+package glfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Leaky spawns a goroutine nothing can stop or join: flagged.
+func Leaky() {
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// leaky is unexported: outside the rule's scope.
+func leaky() {
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// WithCtx listens on ctx.Done: fine.
+func WithCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// WithWG joins through a WaitGroup: fine.
+func WithWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// WithQuit selects on a quit channel: fine.
+func WithQuit(quit chan struct{}) {
+	go func() {
+		select {
+		case <-quit:
+		}
+	}()
+}
+
+// Closer's goroutine is bounded by the WaitGroup it waits on: fine.
+func Closer(wg *sync.WaitGroup, ch chan int) {
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+}
+
+// Drain ranges over a channel, joined by whoever closes it: fine.
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// NamedNoArgs starts a named function with no context or channel
+// argument: flagged.
+func NamedNoArgs() {
+	go spin()
+}
+
+// NamedCtx passes a context to the named function: fine.
+func NamedCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func spin() {}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// AllowedLeak is suppressed by the comment above the go statement.
+func AllowedLeak() {
+	//lint:allow goroutineleak fixture: detached by design
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}

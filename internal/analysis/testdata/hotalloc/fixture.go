@@ -1,0 +1,79 @@
+// Package hafix exercises the hotalloc analyzer. It is loaded under
+// the import path "fixture/internal/linalg" so every function counts
+// as a hot path.
+package hafix
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// Kernel is allocation-free: fine.
+func Kernel(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// MakeInLoop allocates per iteration: make and append flagged.
+func MakeInLoop(n int) [][]float64 {
+	out := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		out = append(out, row)
+	}
+	return out
+}
+
+// Boxing converts ints to any per iteration: flagged.
+func Boxing(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+// Concat grows a string per iteration: flagged.
+func Concat(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s = s + p
+	}
+	return s
+}
+
+// Composite builds a struct literal per iteration: flagged.
+func Composite(n int) {
+	for i := 0; i < n; i++ {
+		p := point{i, i}
+		_ = p
+	}
+}
+
+// OuterLoopSetup allocates only in the outer (non-innermost) loop
+// body: the make is fine, the append in the innermost loop is flagged.
+func OuterLoopSetup(n int) {
+	for i := 0; i < n; i++ {
+		buf := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			buf = append(buf, j)
+		}
+		_ = buf
+	}
+}
+
+// ColdPanic allocates only to build a panic argument: fine.
+func ColdPanic(n int) {
+	for i := 0; i < n; i++ {
+		if i < 0 {
+			panic(fmt.Sprintf("impossible %d", i))
+		}
+	}
+}
+
+// Allowed is suppressed inline.
+func Allowed(n int) {
+	for i := 0; i < n; i++ {
+		_ = make([]int, 1) //lint:allow hotalloc fixture: sanctioned allocation
+	}
+}

@@ -1,0 +1,84 @@
+// Package iafix exercises the itemalias analyzer with a stand-in for
+// streams.Item (a named map type called Item).
+package iafix
+
+// Item mirrors streams.Item.
+type Item map[string]any
+
+// Clone returns a shallow copy.
+func (it Item) Clone() Item {
+	out := make(Item, len(it))
+	for k, v := range it {
+		out[k] = v
+	}
+	return out
+}
+
+type letter struct{ it Item }
+
+type buffer struct {
+	last    Item
+	items   []Item
+	byKey   map[string]Item
+	letters []letter
+}
+
+// Retain stores the input map in a field: flagged.
+func (b *buffer) Retain(it Item) {
+	b.last = it
+}
+
+// RetainClone stores a copy: fine.
+func (b *buffer) RetainClone(it Item) {
+	b.last = it.Clone()
+}
+
+// Append retains through a slice field: flagged.
+func (b *buffer) Append(it Item) {
+	b.items = append(b.items, it)
+}
+
+// Index retains through a map field: flagged.
+func (b *buffer) Index(it Item) {
+	b.byKey[it.key()] = it
+}
+
+// Wrap retains through a composite literal: flagged.
+func (b *buffer) Wrap(it Item) {
+	b.letters = append(b.letters, letter{it: it})
+}
+
+// Forward sends the item downstream, transferring ownership: fine.
+func Forward(it Item, ch chan Item) {
+	ch <- it
+}
+
+// Pass returns the item to the caller: fine.
+func Pass(it Item) Item {
+	return it
+}
+
+var lastGlobal Item
+
+// Stash retains through a package variable: flagged.
+func Stash(it Item) {
+	lastGlobal = it
+}
+
+// Local keeps the item only in locals that do not escape: fine.
+func Local(it Item) {
+	var tmp []Item
+	tmp = append(tmp, it)
+	_ = tmp
+}
+
+// Allowed is a sanctioned sink.
+func (b *buffer) Allowed(it Item) {
+	//lint:allow itemalias fixture: sink owns the item after the call
+	b.items = append(b.items, it)
+}
+
+func (it Item) key() string {
+	s, _ := it["id"].(string)
+	return s
+}

@@ -1,0 +1,56 @@
+// Package lcfix exercises the lockcopy analyzer.
+package lcfix
+
+import "sync"
+
+// Guarded carries a mutex by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct{ g Guarded }
+
+// ByValue copies the lock through a parameter: flagged.
+func ByValue(g Guarded) int { return g.n }
+
+// ByPointer is fine.
+func ByPointer(g *Guarded) int { return g.n }
+
+// Val copies the lock through the receiver: flagged.
+func (g Guarded) Val() int { return g.n }
+
+// PtrVal is fine.
+func (g *Guarded) PtrVal() int { return g.n }
+
+// Produce returns the lock by value: flagged.
+func Produce() Guarded { return Guarded{} }
+
+// ProducePtr returns a pointer: fine.
+func ProducePtr() *Guarded { return &Guarded{} }
+
+// Nested finds the lock through an embedded field: flagged.
+func Nested(w wrapper) int { return w.g.n }
+
+// RangeCopy copies each element, lock included: flagged.
+func RangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// RangeIndex iterates by index: fine.
+func RangeIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// Allowed is suppressed through its doc comment.
+//
+//lint:allow lockcopy fixture: sanctioned copy
+func Allowed(g Guarded) int { return g.n }

@@ -1,0 +1,71 @@
+// Package ndfix exercises the nodeterminism analyzer. It is loaded by
+// the framework tests under the import path "fixture/rtec" so the
+// deterministic-package gate applies.
+package ndfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+// AllowedStamp reads the wall clock under a suppression comment.
+func AllowedStamp() int64 {
+	return time.Now().Unix() //lint:allow nodeterminism fixture: instrumentation only
+}
+
+// GlobalDraw uses the unseeded global source: flagged.
+func GlobalDraw() float64 { return rand.Float64() }
+
+// SeededDraw uses an explicit seeded source: fine (method call).
+func SeededDraw(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// LeakOrder returns map keys in iteration order: flagged.
+func LeakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectThenSort is the canonical remedy: not flagged.
+func CollectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrintAll writes output in map order: flagged.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// SendAll sends in map order: flagged.
+func SendAll(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// PerKey appends only to a slice scoped inside the loop body: fine.
+func PerKey(m map[string]int) {
+	for k := range m {
+		parts := []string{}
+		parts = append(parts, k)
+		_ = parts
+	}
+}

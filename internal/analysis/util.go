@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgMatches reports whether importPath refers to one of the named
+// repo packages. Names are path suffixes ("rtec", "internal/linalg"),
+// so both the real module paths and the fixture paths used by the
+// framework tests match.
+func pkgMatches(importPath string, names []string) bool {
+	for _, n := range names {
+		if importPath == n || strings.HasSuffix(importPath, "/"+n) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObj resolves the object a call expression invokes, looking
+// through parentheses. It returns nil for calls through function
+// values, type conversions and built-ins.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the named function of the
+// package with the given import path (e.g. "time", "Now").
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isBuiltin reports whether call invokes the named builtin (append,
+// make, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// lockPath returns a description like "sync.Mutex" if t contains a
+// lock by value (directly, via struct fields or arrays), or "".
+func lockPath(t types.Type) string {
+	return lockPathRec(t, make(map[types.Type]bool))
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockPathRec(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPathRec(u.Field(i).Type(), seen); p != "" {
+				return p
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+// isFloat reports whether t's core type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isChan reports whether t's underlying type is a channel.
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isItemType reports whether t is a named map type called "Item" — the
+// streams data item (or a fixture stand-in shaped like it).
+func isItemType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Item" {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Map)
+	return ok
+}
+
+// walkShallow visits the tree under n but does not descend into
+// nested function literals — the scope boundary most analyzers here
+// care about.
+func walkShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// at a position outside [from, to) — i.e. it outlives that region.
+func declaredOutside(info *types.Info, id *ast.Ident, from, to ast.Node) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() < from.Pos() || obj.Pos() >= to.End()
+}
+
+// funcName renders a readable name for a function declaration,
+// including the receiver type for methods.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		if id, ok := ix.X.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}

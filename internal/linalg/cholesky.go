@@ -135,7 +135,7 @@ func blockedCholesky(a *Matrix, opts Options) (*Matrix, error) {
 		tiles := make([][2]int, 0, rowBlocks*(rowBlocks+1)/2)
 		for ti := 0; ti < rowBlocks; ti++ {
 			for tk := 0; tk <= ti; tk++ {
-				tiles = append(tiles, [2]int{ti, tk})
+				tiles = append(tiles, [2]int{ti, tk}) //lint:allow hotalloc tile worklist, not the FLOP path; capacity is preallocated exactly
 			}
 		}
 		ParallelFor(workers, len(tiles), func(t int) {

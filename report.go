@@ -312,13 +312,26 @@ func (s *System) RunReplay(ctx context.Context, sdes []dublin.SDE, from, until T
 }
 
 func holdingKeys(r *rtec.Result, fluent string, q Time) []string {
+	// Iterate the fluent instances in sorted key order rather than map
+	// order, so the report — and everything derived from it (alerts,
+	// crowd rounds, dashboard output) — is byte-stable across runs.
+	insts := r.Fluents[fluent]
+	kvs := make([]rtec.KV, 0, len(insts))
+	for kv := range insts {
+		kvs = append(kvs, kv)
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].Key != kvs[j].Key {
+			return kvs[i].Key < kvs[j].Key
+		}
+		return kvs[i].Value < kvs[j].Value
+	})
 	var out []string
-	for kv, l := range r.Fluents[fluent] {
-		if kv.Value == rtec.TrueValue && l.Contains(q) {
+	for _, kv := range kvs {
+		if kv.Value == rtec.TrueValue && insts[kv].Contains(q) {
 			out = append(out, kv.Key)
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 

@@ -1,6 +1,8 @@
 package rtec
 
 import (
+	"sort"
+
 	"github.com/insight-dublin/insight/interval"
 )
 
@@ -101,7 +103,10 @@ func (c *Context) EventsForKey(typ, key string) []Event {
 }
 
 // EventKeys returns the distinct entity keys that have occurrences of
-// the event type inside the window, in unspecified order.
+// the event type inside the window, sorted: rule derivation iterates
+// these keys while appending transitions and derived events, so the
+// order must be run-stable for recognition output to be
+// deterministic.
 func (c *Context) EventKeys(typ string) []string {
 	collect := func(m map[string][]Event) []string {
 		var out []string
@@ -110,6 +115,7 @@ func (c *Context) EventKeys(typ string) []string {
 				out = append(out, k)
 			}
 		}
+		sort.Strings(out)
 		return out
 	}
 	if m, ok := c.derivedByKey[typ]; ok {

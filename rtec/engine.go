@@ -203,7 +203,7 @@ func (e *Engine) Query(q Time) (*Result, error) {
 	if e.started && q <= e.lastQ {
 		return nil, fmt.Errorf("rtec: query times must increase (got %d after %d)", q, e.lastQ)
 	}
-	begin := time.Now()
+	begin := time.Now() //lint:allow nodeterminism wall-clock feeds only Stats.Elapsed, never the recognition result
 	var memBefore runtime.MemStats
 	if e.opts.Profile {
 		runtime.ReadMemStats(&memBefore)
@@ -246,7 +246,7 @@ func (e *Engine) Query(q Time) (*Result, error) {
 		rule := &e.defs.rules[i]
 		var ruleStart time.Time
 		if e.opts.Profile {
-			ruleStart = time.Now()
+			ruleStart = time.Now() //lint:allow nodeterminism wall-clock feeds only Stats.RuleCosts profiling, never the recognition result
 		}
 		switch rule.kind {
 		case kindSimple:
@@ -360,6 +360,7 @@ func (e *Engine) Query(q Time) (*Result, error) {
 			id := derivedID{typ: ev.Type, key: ev.Key, time: ev.Time}
 			if !e.seen[id] {
 				e.seen[id] = true
+				//lint:allow nodeterminism sortEvents below restores the total (time,type,key) order; derived identities are unique
 				fresh = append(fresh, ev)
 			}
 		}

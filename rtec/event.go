@@ -129,6 +129,19 @@ const TrueValue = "true"
 
 // sortEvents orders events by time, breaking ties by arrival order
 // (stable sort over the input ordering).
+// sortEvents orders events by (Time, Type, Key) — a total order over
+// the distinct derived-event identities, so slices assembled from map
+// iteration come out bit-identical across runs. The sort is stable so
+// genuinely duplicated identities keep their arrival order.
 func sortEvents(events []Event) {
-	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Key < b.Key
+	})
 }

@@ -2,9 +2,21 @@ package insight
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/insight-dublin/insight/gp"
 )
+
+// sortedKeys returns the keys of m in ascending order, for
+// deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // FlowEstimate is the city-wide traffic picture of Figure 9: the GP
 // predictive mean at every street junction, with the junctions that
@@ -69,12 +81,18 @@ func (s *System) FlowMap(cfg MapConfig) (*FlowEstimate, error) {
 		}
 		s.kernels[key] = kernel
 	}
+	// Observations are assembled in sorted-key order: gp.Fit averages
+	// duplicate vertices with float accumulation, so the observation
+	// order must be run-stable for the flow estimates to be
+	// bit-identical across runs.
 	obs := make([]gp.Observation, 0, len(s.lastTraffic)+len(s.lastCrowd))
-	for _, r := range s.lastTraffic {
+	for _, sensor := range sortedKeys(s.lastTraffic) {
+		r := s.lastTraffic[sensor]
 		obs = append(obs, gp.Observation{Vertex: r.vertex, Value: r.flow})
 	}
 	if cfg.CrowdNoise > 0 {
-		for _, c := range s.lastCrowd {
+		for _, inter := range sortedKeys(s.lastCrowd) {
+			c := s.lastCrowd[inter]
 			value := float64(crowdFreeFlow)
 			if c.congested {
 				value = crowdCongestedFlow

@@ -242,7 +242,10 @@ func (s *supervisor) deadLetter(name string, it Item, err error, attempts int) {
 	h.Skipped++
 	h.LastError = err.Error()
 	if len(s.dead) < maxDeadLetters {
-		s.dead = append(s.dead, DeadLetter{Process: name, Item: it, Err: err, Attempts: attempts})
+		// Snapshot the item: the dead letter must stay readable as-is
+		// even if an upstream stage (a chaos duplicator, a retrying
+		// processor) keeps mutating the original map.
+		s.dead = append(s.dead, DeadLetter{Process: name, Item: it.Clone(), Err: err, Attempts: attempts})
 	}
 }
 

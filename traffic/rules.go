@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/insight-dublin/insight/geo"
 	"github.com/insight-dublin/insight/interval"
@@ -249,8 +250,15 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 					if len(approaches) == 0 {
 						continue
 					}
-					lists := make([]interval.List, 0, len(approaches))
+					// Sorted approach order keeps the coverage input —
+					// and with it the recognition output — run-stable.
+					labels := make([]string, 0, len(approaches))
 					for approach := range approaches {
+						labels = append(labels, approach)
+					}
+					sort.Strings(labels)
+					lists := make([]interval.List, 0, len(approaches))
+					for _, approach := range labels {
 						if l := ctx.Intervals(ScatsApproachCongestion, ApproachKey(in.ID, approach)); len(l) > 0 {
 							lists = append(lists, l)
 						}
