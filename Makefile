@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-gp fuzz-short figures experiments clean
+.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-delay bench-gp fuzz-short figures experiments clean
 
 all: build vet test
 
@@ -36,12 +36,16 @@ lint:
 
 # CI gate: vet everything, run the repo's own analyzer suite, run the
 # full module under the race detector (engine, rule sets, streams
-# supervision/shutdown, blocked linalg worker pools, parallel grid
-# search), and finish with a short fuzz pass over the
-# factorization/solve targets.
+# supervision/shutdown, columnar batch equivalence/chaos tests, blocked
+# linalg worker pools, parallel grid search), gate the columnar ingest
+# path against the committed allocation budget (the race detector
+# inflates allocation counts, so the gate runs in a separate non-race
+# pass), and finish with a short fuzz pass over the factorization/solve
+# targets.
 check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run 'TestAllocBudget' -count=1 .
 	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 5s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 5s ./internal/linalg
 
@@ -51,12 +55,20 @@ chaos:
 	mkdir -p results
 	$(GO) run ./cmd/chaosbench          | tee results/chaos.txt
 
-# The RTEC performance benches (Figure 4 sweep + the step-ratio
-# amortization bench, incremental and full-recompute), 5 repetitions,
-# as a JSON event stream for later comparison.
+# The RTEC performance benches (Figure 4 sweep, the step-ratio
+# amortization bench, and the map-vs-columnar ingest benches — the
+# cold-window and steady-state regimes), 5 repetitions, as a JSON
+# event stream for later comparison.
 bench-rtec:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig4_EventRecognition|BenchmarkStepRatio' \
-		-count=5 -json . | tee BENCH_rtec.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4_EventRecognition|BenchmarkStepRatio|BenchmarkIngest|BenchmarkSustainedIngest' \
+		-count=5 -timeout 60m -json . | tee BENCH_rtec.json
+
+# The Figure 2 regime ingest bench: map vs columnar delivery of
+# arrival-ordered SDEs across sliding-window boundaries, 5 repetitions,
+# as a JSON event stream for later comparison.
+bench-delay:
+	$(GO) test -run '^$$' -bench 'BenchmarkDelayedIngest' \
+		-count=5 -timeout 60m -json . | tee BENCH_delay.json
 
 # The GP linalg benches (kernel build, fit, predict-all, grid search at
 # n≈512, serial reference vs blocked/parallel kernels), 5 repetitions,

@@ -471,3 +471,32 @@ func PartitionOf(e rtec.Event) int {
 	}
 	return int(geo.RegionOf(geo.LonLat(lon, lat)))
 }
+
+// PartitionOfBlock is the block-level counterpart of PartitionOf for
+// rtec.Partitioned.SetBlockAssign: the coordinate columns are located
+// once per block, and the returned function assigns one row by
+// indexing them directly — the same partition PartitionOf computes on
+// the row's view Event, including the float coercion and the Central
+// fallback for rows without coordinates.
+func PartitionOfBlock(b *rtec.Block) func(int) int {
+	lon, lat := b.Column("lon"), b.Column("lat")
+	at := func(c *rtec.BCol, i int) (float64, bool) {
+		switch {
+		case c == nil:
+			return 0, false
+		case c.Kind == rtec.ColFloat:
+			return c.F[i], true
+		case c.Kind == rtec.ColInt:
+			return float64(c.I[i]), true
+		}
+		return 0, false
+	}
+	return func(i int) int {
+		x, ok1 := at(lon, i)
+		y, ok2 := at(lat, i)
+		if !ok1 || !ok2 {
+			return int(geo.Central)
+		}
+		return int(geo.RegionOf(geo.LonLat(x, y)))
+	}
+}

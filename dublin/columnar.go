@@ -1,0 +1,148 @@
+package dublin
+
+import (
+	"sort"
+
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/streams"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// Columnar emission. CollectBatches is the batched counterpart of
+// Collect: the generator's raw events are appended straight into
+// typed transport batches — occurrence/arrival times, entity keys and
+// numeric attributes land in flat slices, the categorical labels
+// (lines, operators, intersections, approaches) in per-column string
+// dictionaries — without ever materializing an attribute map. The
+// per-item and columnar emissions draw from the same rng in the same
+// order, so row i of the batched stream is bit-identical to the i-th
+// SDE of the corresponding per-item stream.
+
+// BatchedStream couples an input stream id with its arrival-ordered
+// transport batches.
+type BatchedStream struct {
+	ID      string
+	Batches []*streams.Batch
+}
+
+// CollectBatches materializes the SDEs of [from, until) as columnar
+// transport batches, split into the paper's five input streams ("bus"
+// plus one SCATS stream per Dublin region) with rows in arrival order
+// within each stream. Batches are cut at maxRows rows (default 512
+// when <= 0) and whenever a batch would span more than maxSpan of
+// arrival time (0 disables the span cut) — the span cap is what lets
+// downstream watermark punctuation stay fine-grained under batching.
+// The batches come from the transport pool: the consumer releases
+// them.
+func (c *City) CollectBatches(from, until rtec.Time, maxRows int, maxSpan rtec.Time) []BatchedStream {
+	if maxRows <= 0 {
+		maxRows = 512
+	}
+	g := c.Stream(from, until)
+	var raws []rawSDE
+	for {
+		r, ok := g.nextRaw()
+		if !ok {
+			break
+		}
+		raws = append(raws, r)
+	}
+	// Arrival order, stable — the same permutation Collect applies to
+	// the materialized stream.
+	sort.SliceStable(raws, func(i, j int) bool { return raws[i].arrival < raws[j].arrival })
+
+	out := []BatchedStream{{ID: "bus"}}
+	regionIdx := make([]int, geo.NumRegions)
+	for r := 0; r < int(geo.NumRegions); r++ {
+		regionIdx[r] = len(out)
+		out = append(out, BatchedStream{ID: "scats-" + geo.Region(r).String()})
+	}
+	open := make([]*streams.Batch, len(out))
+	first := make([]rtec.Time, len(out))
+	flush := func(si int) {
+		if open[si] != nil {
+			out[si].Batches = append(out[si].Batches, open[si])
+			open[si] = nil
+		}
+	}
+	for _, r := range raws {
+		si := 0
+		typ := traffic.MoveType
+		if r.kind == 1 {
+			s := &c.sensors[r.index]
+			si = regionIdx[geo.RegionOf(s.Pos)]
+			typ = traffic.TrafficType
+		}
+		if b := open[si]; b != nil &&
+			(b.Len() >= maxRows || (maxSpan > 0 && r.arrival-first[si] > maxSpan)) {
+			flush(si)
+		}
+		if open[si] == nil {
+			open[si] = streams.GetBatch(typ, out[si].ID)
+			first[si] = r.arrival
+		}
+		g.appendRaw(open[si], r)
+	}
+	for si := range open {
+		flush(si)
+	}
+	return out
+}
+
+// appendRaw appends one raw event as a batch row, columns named and
+// typed exactly like the attribute map of the materialized event.
+func (g *Generator) appendRaw(b *streams.Batch, r rawSDE) {
+	if r.kind == 0 {
+		bus := &g.city.buses[r.index]
+		b.Append(int64(r.t), int64(r.arrival), bus.ID)
+		b.StrCol("line").AppendStr(bus.Line)
+		b.StrCol("operator").AppendStr(bus.Operator)
+		b.IntCol("delay").AppendInt(r.delay)
+		b.FloatCol("lon").AppendFloat(r.pos.Lon)
+		b.FloatCol("lat").AppendFloat(r.pos.Lat)
+		b.IntCol("direction").AppendInt(int64(r.direction))
+		b.BoolCol("congested").AppendBool(r.congested)
+		return
+	}
+	s := &g.city.sensors[r.index]
+	b.Append(int64(r.t), int64(r.arrival), s.ID)
+	b.StrCol("intersection").AppendStr(s.Intersection)
+	b.StrCol("approach").AppendStr(s.Approach)
+	b.FloatCol("density").AppendFloat(r.density)
+	b.FloatCol("flow").AppendFloat(r.flow)
+	b.FloatCol("lon").AppendFloat(s.Pos.Lon)
+	b.FloatCol("lat").AppendFloat(s.Pos.Lat)
+}
+
+// Block converts a transport batch into an rtec ingestion block. The
+// two columnar layouts are deliberately aligned, so the conversion
+// aliases the batch's slices instead of copying: the returned block is
+// valid only while the batch is live (the engine copies the rows it
+// admits, so handing an aliased block to InputBlock is safe).
+func Block(b *streams.Batch) *rtec.Block {
+	blk := &rtec.Block{
+		Type:  b.Type,
+		Times: b.Times,
+		Keys:  b.Keys,
+		KIdx:  b.KIdx,
+		KDict: b.KDict,
+		Cols:  make([]rtec.BCol, len(b.Cols)),
+	}
+	for i := range b.Cols {
+		sc := &b.Cols[i]
+		dc := &blk.Cols[i]
+		dc.Name = sc.Name
+		switch sc.Kind {
+		case streams.ColFloat:
+			dc.Kind, dc.F = rtec.ColFloat, sc.F
+		case streams.ColInt:
+			dc.Kind, dc.I = rtec.ColInt, sc.I
+		case streams.ColBool:
+			dc.Kind, dc.B = rtec.ColBool, sc.B
+		case streams.ColStr:
+			dc.Kind, dc.SIdx, dc.Dict = rtec.ColStr, sc.SIdx, sc.Dict
+		}
+	}
+	return blk
+}

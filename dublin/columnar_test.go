@@ -1,0 +1,109 @@
+package dublin
+
+import (
+	"testing"
+
+	"github.com/insight-dublin/insight/geo"
+	"github.com/insight-dublin/insight/streams"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// streamOf maps a materialized SDE to its input stream id, the same
+// way CollectBatches splits the stream set.
+func streamOf(sde SDE) string {
+	if sde.Event.Type == traffic.MoveType {
+		return "bus"
+	}
+	lon, _ := sde.Event.Float("lon")
+	lat, _ := sde.Event.Float("lat")
+	return "scats-" + geo.RegionOf(geo.Point{Lon: lon, Lat: lat}).String()
+}
+
+// TestCollectBatchesMatchesCollect demands row-for-row bit identity
+// between the batched and the per-item emission: same events, same
+// attributes, same per-stream arrival order.
+func TestCollectBatchesMatchesCollect(t *testing.T) {
+	city := mustCity(t, smallConfig())
+	items := city.Collect(0, 1800)
+	want := map[string][]SDE{}
+	for _, sde := range items {
+		id := streamOf(sde)
+		want[id] = append(want[id], sde)
+	}
+
+	before := streams.LiveBatches()
+	bstreams := mustCity(t, smallConfig()).CollectBatches(0, 1800, 64, 0)
+	got := 0
+	for _, bs := range bstreams {
+		ref := want[bs.ID]
+		ri := 0
+		for _, b := range bs.Batches {
+			if err := b.Check(); err != nil {
+				t.Fatalf("stream %s: %v", bs.ID, err)
+			}
+			if b.Len() > 64 {
+				t.Fatalf("stream %s: batch of %d rows exceeds maxRows", bs.ID, b.Len())
+			}
+			blk := Block(b)
+			for i := 0; i < b.Len(); i++ {
+				if ri >= len(ref) {
+					t.Fatalf("stream %s: more rows than per-item events", bs.ID)
+				}
+				sde := ref[ri]
+				ev := blk.Event(i)
+				if ev.Type != sde.Event.Type || ev.Time != sde.Event.Time || ev.Key != sde.Event.Key {
+					t.Fatalf("stream %s row %d: %v, want %v", bs.ID, ri, ev, sde.Event)
+				}
+				if arr := b.Arrivals[i]; arr != int64(sde.Arrival) {
+					t.Fatalf("stream %s row %d: arrival %d, want %d", bs.ID, ri, arr, sde.Arrival)
+				}
+				for name := range sde.Event.Attrs {
+					gv, gok := ev.Get(name)
+					wv, wok := sde.Event.Get(name)
+					if gv != wv || gok != wok {
+						t.Fatalf("stream %s row %d attr %s: (%v, %v), want (%v, %v)",
+							bs.ID, ri, name, gv, gok, wv, wok)
+					}
+				}
+				if len(b.Cols) != len(sde.Event.Attrs) {
+					t.Fatalf("stream %s row %d: %d columns, want %d attrs",
+						bs.ID, ri, len(b.Cols), len(sde.Event.Attrs))
+				}
+				ri++
+				got++
+			}
+		}
+		if ri != len(ref) {
+			t.Fatalf("stream %s: %d rows, want %d", bs.ID, ri, len(ref))
+		}
+	}
+	if got != len(items) {
+		t.Fatalf("total rows %d, want %d", got, len(items))
+	}
+	for _, bs := range bstreams {
+		for _, b := range bs.Batches {
+			b.Release()
+		}
+	}
+	if live := streams.LiveBatches(); live != before {
+		t.Errorf("live batches = %d, want %d", live, before)
+	}
+}
+
+// TestCollectBatchesSpanCut checks the arrival-span cap: no batch may
+// cover more arrival time than maxSpan, so watermark punctuation stays
+// fine-grained under batching.
+func TestCollectBatchesSpanCut(t *testing.T) {
+	city := mustCity(t, smallConfig())
+	const span = 120
+	for _, bs := range city.CollectBatches(0, 1800, 0, span) {
+		for _, b := range bs.Batches {
+			if n := b.Len(); n > 0 {
+				if got := b.Arrivals[n-1] - b.Arrivals[0]; got > span {
+					t.Errorf("stream %s: batch spans %d arrival seconds, cap %d", bs.ID, got, span)
+				}
+			}
+			b.Release()
+		}
+	}
+}

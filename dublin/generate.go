@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/insight-dublin/insight/geo"
 	"github.com/insight-dublin/insight/rtec"
 	"github.com/insight-dublin/insight/traffic"
 )
@@ -73,26 +74,60 @@ func (c *City) Stream(from, until rtec.Time) *Generator {
 	return g
 }
 
+// rawSDE is one synthesized event before materialization: the typed
+// fields a columnar batch appends directly, without building an
+// attribute map. kind 0 carries the bus fields, kind 1 the sensor
+// fields; static attributes (route/line labels, sensor identifiers)
+// are looked up from the city by index at append time.
+type rawSDE struct {
+	kind    int // 0 = bus, 1 = sensor
+	index   int
+	t       rtec.Time
+	arrival rtec.Time
+
+	// bus fields
+	pos       geo.Point
+	delay     int64
+	direction int
+	congested bool
+
+	// sensor fields
+	density float64
+	flow    float64
+}
+
 // Next returns the next SDE in occurrence order. Dropped events
 // (mediator losses) are skipped transparently. ok is false when the
 // range is exhausted.
 func (g *Generator) Next() (SDE, bool) {
+	raw, ok := g.nextRaw()
+	if !ok {
+		return SDE{}, false
+	}
+	return SDE{Event: g.materialize(raw), Arrival: raw.arrival}, true
+}
+
+// nextRaw advances the generator by one emitted event, skipping
+// mediator drops. All randomness is drawn here (and in busRaw /
+// sensorRaw), in exactly the order of the historical per-event
+// generator, so raw and materialized streams are bit-identical.
+func (g *Generator) nextRaw() (rawSDE, bool) {
 	for {
 		if g.queue.Len() == 0 {
-			return SDE{}, false
+			return rawSDE{}, false
 		}
 		e := g.queue[0]
 		if e.next >= g.until {
-			return SDE{}, false
+			return rawSDE{}, false
 		}
-		var ev rtec.Event
+		var raw rawSDE
 		if e.kind == 0 {
-			ev = g.busEvent(e.index, e.next)
+			raw = g.busRaw(e.index, e.next)
 			period := g.city.cfg.BusPeriodMin +
 				rtec.Time(g.rng.Int63n(int64(g.city.cfg.BusPeriodMax-g.city.cfg.BusPeriodMin)+1))
 			g.queue[0].next = e.next + period
 		} else {
-			ev = g.sensorEvent(e.index, e.next)
+			raw = g.sensorRaw(e.index, e.next)
 			g.queue[0].next = e.next + g.city.cfg.ScatsPeriod
 		}
 		heap.Fix(&g.queue, 0)
@@ -105,15 +140,30 @@ func (g *Generator) Next() (SDE, bool) {
 		if g.city.cfg.MaxDelay > 0 {
 			delay = rtec.Time(g.rng.Int63n(int64(g.city.cfg.MaxDelay) + 1))
 		}
-		return SDE{Event: ev, Arrival: e.next + delay}, true
+		raw.arrival = raw.t + delay
+		return raw, true
 	}
 }
 
-// busEvent synthesizes one move SDE: position along the route, the
+// materialize builds the map-backed event of a raw SDE (the per-item
+// representation; columnar consumers append the raw fields directly).
+func (g *Generator) materialize(r rawSDE) rtec.Event {
+	if r.kind == 0 {
+		b := &g.city.buses[r.index]
+		return traffic.Move(r.t, b.ID, b.Line, b.Operator, r.delay, r.pos, r.direction, r.congested)
+	}
+	s := &g.city.sensors[r.index]
+	ev := traffic.Traffic(r.t, s.ID, s.Intersection, s.Approach, r.density, r.flow)
+	ev.Attrs["lon"] = s.Pos.Lon
+	ev.Attrs["lat"] = s.Pos.Lat
+	return ev
+}
+
+// busRaw synthesizes one move SDE: position along the route, the
 // schedule delay (which grows inside congested areas and recovers
 // outside, driving the delayIncrease CE), and the congestion flag
 // (inverted 80% of the time for noisy buses).
-func (g *Generator) busEvent(i int, t rtec.Time) rtec.Event {
+func (g *Generator) busRaw(i int, t rtec.Time) rawSDE {
 	b := &g.city.buses[i]
 	pos := g.city.BusPosition(b, t)
 	truth := g.city.IsCongested(pos, t)
@@ -133,14 +183,21 @@ func (g *Generator) busEvent(i int, t rtec.Time) rtec.Event {
 	if b.Noisy && g.rng.Float64() < 0.8 {
 		report = !truth
 	}
-	return traffic.Move(t, b.ID, b.Line, b.Operator, int64(g.busDelay[i]), pos,
-		g.city.busDirection(b, t), report)
+	return rawSDE{
+		kind:      0,
+		index:     i,
+		t:         t,
+		pos:       pos,
+		delay:     int64(g.busDelay[i]),
+		direction: g.city.busDirection(b, t),
+		congested: report,
+	}
 }
 
-// sensorEvent synthesizes one traffic SDE with measurement noise. The
+// sensorRaw synthesizes one traffic SDE with measurement noise. The
 // event carries the intersection coordinates as extra attributes so
 // the stream can be partitioned geographically.
-func (g *Generator) sensorEvent(i int, t rtec.Time) rtec.Event {
+func (g *Generator) sensorRaw(i int, t rtec.Time) rawSDE {
 	s := &g.city.sensors[i]
 	density, flow := g.city.SensorReading(s, t)
 	density += g.rng.NormFloat64() * 0.02
@@ -154,10 +211,7 @@ func (g *Generator) sensorEvent(i int, t rtec.Time) rtec.Event {
 	if flow < 0 {
 		flow = 0
 	}
-	ev := traffic.Traffic(t, s.ID, s.Intersection, s.Approach, density, flow)
-	ev.Attrs["lon"] = s.Pos.Lon
-	ev.Attrs["lat"] = s.Pos.Lat
-	return ev
+	return rawSDE{kind: 1, index: i, t: t, density: density, flow: flow}
 }
 
 // Collect materializes the SDEs of [from, until), sorted by arrival

@@ -3,9 +3,13 @@
 // processors for cleaning, and an application-defined processor class
 // registered through the API ("adding customized processors is
 // realised by implementing the respective interfaces"). The pipeline
-// ingests a synthetic SCATS stream, drops malformed items, flags
-// congested readings with a custom processor and fans the results into
-// a collector.
+// ingests a synthetic SCATS stream delivered as one columnar batch
+// (plus a couple of malformed per-item records, as real feeds have),
+// flags congested readings with a custom batch-aware processor that
+// appends a column instead of cloning one map per reading, and lets
+// the non-batch-aware cleaning stage receive the rows as lazily
+// materialized Items — the two transport representations coexisting in
+// one chain.
 package main
 
 import (
@@ -24,13 +28,39 @@ const flowDefinition = `
 <application>
   <queue id="readings" capacity="256"/>
   <process id="ingest" input="scats" output="readings">
-    <processor class="drop-missing" key="density"/>
     <processor class="congestion-flag" density="0.35" flow="600"/>
+    <processor class="drop-missing" key="density"/>
   </process>
   <process id="deliver" input="readings" output="out">
     <processor class="count" key="seq"/>
   </process>
 </application>`
+
+// congestionFlag marks readings whose density is high and flow low.
+// The batch path appends one bool column and passes the batch on;
+// per-item records (the malformed stragglers) take the map path.
+type congestionFlag struct {
+	density, flow float64
+}
+
+func (c *congestionFlag) Process(it streams.Item) (streams.Item, error) {
+	out := it.Clone()
+	out["congested"] = it.Float("density") >= c.density && it.Float("flow") <= c.flow
+	return out, nil
+}
+
+// ProcessBatch implements streams.BatchProcessor: the whole batch is
+// flagged with one column append — no per-reading map clone — and
+// rides on for the rest of the chain to expand lazily.
+func (c *congestionFlag) ProcessBatch(b *streams.Batch) ([]streams.Item, error) {
+	density := b.FloatCol("density").F
+	flow := b.FloatCol("flow").F
+	out := b.BoolCol("congested")
+	for i := range density {
+		out.AppendBool(density[i] >= c.density && flow[i] <= c.flow)
+	}
+	return []streams.Item{streams.BatchItem(b)}, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -46,37 +76,34 @@ func main() {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("congestion-flag needs numeric density and flow attributes")
 		}
-		return streams.Map(func(it streams.Item) streams.Item {
-			out := it.Clone()
-			out["congested"] = it.Float("density") >= density && it.Float("flow") <= flow
-			return out
-		}), nil
+		return &congestionFlag{density: density, flow: flow}, nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Input: 30 minutes of synthetic SCATS readings as items.
+	// Input: 30 minutes of synthetic SCATS readings as one columnar
+	// batch — the generator's native emission — riding the stream as a
+	// single envelope item.
 	city, err := dublin.NewCity(dublin.Config{Seed: 4, NumBuses: 1, NumSensors: 50})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var items []streams.Item
+	batch := streams.GetBatch(traffic.TrafficType, "scats")
 	for _, sde := range city.Collect(8*3600, 8*3600+1800) {
 		if sde.Event.Type != traffic.TrafficType {
 			continue
 		}
 		density, _ := sde.Event.Float("density")
 		flow, _ := sde.Event.Float("flow")
-		items = append(items, streams.Item{
-			"sensor":  sde.Event.Key,
-			"time":    int64(sde.Event.Time),
-			"density": density,
-			"flow":    flow,
-		})
+		batch.Append(int64(sde.Event.Time), int64(sde.Arrival), sde.Event.Key)
+		batch.FloatCol("density").AppendFloat(density)
+		batch.FloatCol("flow").AppendFloat(flow)
 	}
-	// A couple of malformed records, as real feeds have.
-	items = append(items, streams.Item{"sensor": "broken"}, streams.Item{"sensor": "broken2"})
+	rows := batch.Len()
+	items := []streams.Item{streams.BatchItem(batch)}
+	// A couple of malformed per-item records, as real feeds have.
+	items = append(items, streams.Item{"key": "broken"}, streams.Item{"key": "broken2"})
 
 	top := streams.NewTopology()
 	if err := top.AddStream("scats", streams.NewSliceSource(items...)); err != nil {
@@ -99,13 +126,13 @@ func main() {
 			congested++
 		}
 	}
-	fmt.Printf("ingested %d raw records → %d clean readings, %d flagged congested\n",
-		len(items), sink.Len(), congested)
+	fmt.Printf("ingested %d batched + %d stray records → %d clean readings, %d flagged congested\n",
+		rows, len(items)-1, sink.Len(), congested)
 
 	congestedSensors := map[string]bool{}
 	for _, it := range sink.Items() {
 		if it.Bool("congested") {
-			congestedSensors[it.String("sensor")] = true
+			congestedSensors[it.String("key")] = true
 		}
 	}
 	if len(congestedSensors) > 0 {

@@ -86,6 +86,21 @@ type Config struct {
 	WatermarkStaleness Time
 	// Seed drives the crowdsourcing simulation.
 	Seed int64
+	// ColumnarTransport moves SDEs through the pipeline as typed
+	// columnar batches (streams.Batch) instead of one map-backed item
+	// per event: the generator emits batches natively and the
+	// monitoring processor feeds them to the engines as column blocks.
+	// Recognition output is identical either way; the columnar path
+	// exists purely for throughput (see DESIGN.md).
+	ColumnarTransport bool
+	// UnpacedReplay lets the replay sources run freely instead of
+	// aligning them on the shared virtual clock. Benchmark mode: the
+	// pipeline then measures processing cost, not replay pacing.
+	// Recognition output is unaffected when WatermarkStaleness is 0
+	// (boundary admission filters by arrival time, so the interleaving
+	// never shows); with a staleness bound, free-running sources can
+	// spuriously degrade slower streams — keep pacing in that case.
+	UnpacedReplay bool
 }
 
 // System is the assembled INSIGHT pipeline.
@@ -170,6 +185,10 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	engines.SetBlockAssign(func(b *rtec.Block) func(int) int {
+		of := dublin.PartitionOfBlock(b)
+		return func(i int) int { return of(i) % cfg.Partitions }
+	})
 
 	s := &System{
 		cfg:          cfg,

@@ -72,6 +72,7 @@ var goldenCases = []struct {
 	{NoDeterminism, "nodeterminism", "fixture/rtec"},
 	{GoroutineLeak, "goroutineleak", "fixture/goroutineleak"},
 	{HotAlloc, "hotalloc", "fixture/internal/linalg"},
+	{HotAlloc, "hotalloc_batch", "fixture/streams"},
 	{FloatEq, "floateq", "fixture/floateq"},
 	{LockCopy, "lockcopy", "fixture/lockcopy"},
 	{ItemAlias, "itemalias", "fixture/itemalias"},

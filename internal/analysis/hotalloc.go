@@ -18,6 +18,26 @@ var hotPathFuncs = map[string]*regexp.Regexp{
 	"rtec":            regexp.MustCompile(`^(window|windowForKey|sliceSpan|trimBefore|evict|dirtyFloor|insertSorted|dot4)$`),
 }
 
+// batchPathFuncs maps packages to the functions forming the columnar
+// batch path: the row loops whose whole point is that no per-event map
+// is ever built. Unlike the kernel rule above, these are checked at
+// every loop depth — one ItemAt or map construction per row silently
+// reverts the batch path to per-item cost.
+var batchPathFuncs = map[string]*regexp.Regexp{
+	"streams": regexp.MustCompile(`^(AppendRowFrom|faultBatch)$`),
+	"rtec":    regexp.MustCompile(`^(copyRows|inputBlock)$`),
+	"insight": regexp.MustCompile(`^(admitRows|ProcessBatch)$`),
+}
+
+// itemMaterializers are the calls that rebuild a per-event map
+// representation from columnar data; calling one per row inside a
+// batch loop defeats the batching.
+var itemMaterializers = map[string]bool{
+	"ItemAt":   true,
+	"Clone":    true,
+	"NewEvent": true,
+}
+
 // HotAlloc flags allocation sites inside the innermost loop bodies of
 // hot-path functions: composite literals, make, append (which may
 // grow), string concatenation and interface boxing. PR 3's blocked
@@ -26,9 +46,13 @@ var hotPathFuncs = map[string]*regexp.Regexp{
 // there is a silent multi-× regression the equivalence tests cannot
 // see. Cold paths inside a hot loop (error/panic construction) are
 // fine — annotate them with //lint:allow hotalloc and a justification.
+//
+// On the columnar batch path (batchPathFuncs) it additionally flags
+// per-row map construction and Item/Event materialization calls at any
+// loop depth: the zero-allocation contract of batched transport.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "flags allocations in the innermost loops of hot-path kernel functions",
+	Doc:  "flags allocations in the innermost loops of hot-path kernel functions and per-row map materialization in batch loops",
 	Run:  runHotAlloc,
 }
 
@@ -40,26 +64,94 @@ func runHotAlloc(pass *Pass) {
 			break
 		}
 	}
-	if hotRe == nil {
+	var batchRe *regexp.Regexp
+	for suffix, re := range batchPathFuncs {
+		if pkgMatches(pass.Pkg.Path, []string{suffix}) {
+			batchRe = re
+			break
+		}
+	}
+	if hotRe == nil && batchRe == nil {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !hotRe.MatchString(fd.Name.Name) {
+			if !ok || fd.Body == nil {
 				continue
 			}
 			name := funcName(fd)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				body := loopBody(n)
-				if body == nil || !innermostLoop(body) {
+			if hotRe != nil && hotRe.MatchString(fd.Name.Name) {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					body := loopBody(n)
+					if body == nil || !innermostLoop(body) {
+						return true
+					}
+					checkHotLoop(pass, name, body)
 					return true
-				}
-				checkHotLoop(pass, name, body)
-				return true
-			})
+				})
+			}
+			if batchRe != nil && batchRe.MatchString(fd.Name.Name) {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if body := loopBody(n); body != nil {
+						checkBatchLoop(pass, name, body)
+					}
+					return true
+				})
+			}
 		}
 	}
+}
+
+// checkBatchLoop reports per-row map construction and Item/Event
+// materialization directly inside one batch-loop body. Nested loop
+// bodies are skipped here — the caller visits every loop, so each
+// statement is checked exactly once, at its own depth.
+func checkBatchLoop(pass *Pass, fn string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	walkShallow(body, func(n ast.Node) bool {
+		if b := loopBody(n); b != nil && ast.Node(body) != n {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "per-row map construction in batch loop of %s defeats columnar batching", fn)
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "panic") {
+				return false
+			}
+			if isBuiltin(info, n, "make") {
+				if tv, ok := info.Types[n]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "per-row map construction in batch loop of %s defeats columnar batching", fn)
+					}
+				}
+				return true
+			}
+			if name, ok := calleeName(n); ok && itemMaterializers[name] {
+				pass.Reportf(n.Pos(), "per-row %s call in batch loop of %s materializes the map representation", name, fn)
+			}
+		}
+		return true
+	})
+}
+
+// calleeName extracts the bare called name of a call expression:
+// "f(...)" yields f, "x.M(...)" yields M. Conversions and builtins
+// yield false.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name, true
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	}
+	return "", false
 }
 
 // loopBody returns the body of a for/range statement, or nil.

@@ -86,22 +86,35 @@ func (s *System) BuildChaosPipeline(from, until Time, chaos ChaosConfig) (*Pipel
 }
 
 func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, error) {
-	sdes := s.city.Collect(from, until)
-
 	// Split into the paper's five input streams, each arrival-ordered
-	// (Collect already sorted globally, so per-stream order is kept).
+	// (the global collection is arrival-sorted, so per-stream order is
+	// kept). With ColumnarTransport the generator emits typed batches
+	// natively — no per-event map is ever built on the ingest path;
+	// batch spans are capped at Step/2 (the pacer slack) so at most one
+	// query boundary can land inside a batch and watermark punctuation
+	// keeps its per-item granularity.
 	streamIDs := []string{"bus", "scats-central", "scats-north", "scats-west", "scats-south"}
 	perStream := make(map[string][]streams.Item, len(streamIDs))
-	for _, sde := range sdes {
-		id := "bus"
-		if sde.Event.Type == traffic.TrafficType {
-			id = "scats-" + geo.Region(dublin.PartitionOf(sde.Event)).String()
+	if s.cfg.ColumnarTransport {
+		for _, bs := range s.city.CollectBatches(from, until, 512, s.cfg.Step/2) {
+			items := make([]streams.Item, 0, len(bs.Batches))
+			for _, b := range bs.Batches {
+				items = append(items, streams.BatchItem(b))
+			}
+			perStream[bs.ID] = items
 		}
-		perStream[id] = append(perStream[id], streams.Item{
-			itemEvent:   sde.Event,
-			itemArrival: int64(sde.Arrival),
-			itemSource:  id,
-		})
+	} else {
+		for _, sde := range s.city.Collect(from, until) {
+			id := "bus"
+			if sde.Event.Type == traffic.TrafficType {
+				id = "scats-" + geo.Region(dublin.PartitionOf(sde.Event)).String()
+			}
+			perStream[id] = append(perStream[id], streams.Item{
+				itemEvent:   sde.Event,
+				itemArrival: int64(sde.Arrival),
+				itemSource:  id,
+			})
+		}
 	}
 	// End-of-stream punctuation: one trailing marker per stream lifts
 	// that stream's watermark past the final boundary as soon as it
@@ -119,6 +132,14 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 	// like a dead mediator whose upstream keeps transmitting.
 	pacer := streams.NewPacer(int64(s.cfg.Step) / 2)
 	arrivalOf := func(it streams.Item) (int64, bool) {
+		if b, isBatch := streams.ItemBatch(it); isBatch {
+			if b.Len() == 0 || b.Arrivals == nil {
+				return 0, false
+			}
+			// Pace on the batch's first arrival; the Step/2 span cap
+			// keeps the whole batch within the pacer slack.
+			return b.Arrivals[0], true
+		}
 		if it.Bool(itemEOF) {
 			return 0, false
 		}
@@ -127,7 +148,9 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 	for _, id := range streamIDs {
 		items := append(perStream[id], streams.Item{itemSource: id, itemEOF: true})
 		var src streams.Source = streams.NewSliceSource(items...)
-		src = streams.NewPacedSource(src, pacer, id, int64(from), arrivalOf)
+		if !s.cfg.UnpacedReplay {
+			src = streams.NewPacedSource(src, pacer, id, int64(from), arrivalOf)
+		}
 		if spec, faulty := chaos.Streams[id]; faulty {
 			cs := streams.NewChaosSource(src, spec)
 			chaosSources[id] = cs
@@ -152,16 +175,10 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 	}
 
 	// Input handling processes: one per stream, validating and
-	// forwarding into the shared SDE queue.
-	validate := streams.ProcessorFunc(func(it streams.Item) (streams.Item, error) {
-		if it.Bool(itemEOF) {
-			return it, nil
-		}
-		if _, ok := it[itemEvent].(rtec.Event); !ok {
-			return nil, fmt.Errorf("insight: SDE item without event payload")
-		}
-		return it, nil
-	})
+	// forwarding into the shared SDE queue. The validator is
+	// batch-aware: batch envelopes are schema-checked and forwarded
+	// whole instead of being expanded into per-row items.
+	validate := sdeValidator{}
 	chaosProcs := make(map[string]*streams.ChaosProcessor)
 	for i, id := range streamIDs {
 		proc := streams.Processor(validate)
@@ -249,6 +266,33 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 // modelling procedure is registered in the pipeline topology.
 type TrafficModelService func(MapConfig) (*FlowEstimate, error)
 
+// sdeValidator is the input-handling processor: it checks per-item
+// SDEs carry an event payload and batch envelopes satisfy the
+// row-length invariant, forwarding both unchanged.
+type sdeValidator struct{}
+
+// Process validates one per-item SDE (or EOF punctuation).
+func (sdeValidator) Process(it streams.Item) (streams.Item, error) {
+	if it.Bool(itemEOF) {
+		return it, nil
+	}
+	if _, ok := it[itemEvent].(rtec.Event); !ok {
+		return nil, fmt.Errorf("insight: SDE item without event payload")
+	}
+	return it, nil
+}
+
+// ProcessBatch validates a batch envelope and forwards it whole.
+func (sdeValidator) ProcessBatch(b *streams.Batch) ([]streams.Item, error) {
+	if err := b.Check(); err != nil {
+		return nil, err
+	}
+	if b.Len() > 0 && b.Arrivals == nil {
+		return nil, fmt.Errorf("insight: SDE batch %q without arrival column", b.Type)
+	}
+	return []streams.Item{streams.BatchItem(b)}, nil
+}
+
 // rtecProcessor embeds the partitioned RTEC engines in the streams
 // framework. It forwards every SDE to the engines and fires query
 // evaluations when the minimum arrival watermark across the *live*
@@ -281,6 +325,14 @@ type rtecProcessor struct {
 	// them: at query time Q exactly the SDEs with arrival <= Q may
 	// have been delivered to the engines, as in a live deployment.
 	pending []pendingSDE
+	// pendingRows is the columnar counterpart of pending: row
+	// references into retained transport batches, in exact consumption
+	// order across streams, so boundary admission files events into
+	// the engine stores in the same order the per-item path would.
+	pendingRows []rowRef
+	// runRows is the reusable row buffer admitRows flushes in
+	// consecutive same-block runs.
+	runRows []int32
 	// due holds evaluated reports awaiting emission: a processor maps
 	// one item to at most one item, so simultaneous boundaries drain
 	// one per subsequent item; whatever is still due when the input
@@ -291,6 +343,23 @@ type rtecProcessor struct {
 type pendingSDE struct {
 	event   rtec.Event
 	arrival Time
+}
+
+// pendingBlock retains one consumed transport batch until every row
+// has been admitted past a query boundary; the aliased rtec block is
+// what admission feeds to the engines. The batch is released (and the
+// alias dropped) when the last row is admitted, or by Flush for rows
+// beyond the final boundary.
+type pendingBlock struct {
+	batch   *streams.Batch
+	blk     *rtec.Block
+	pending int // rows not yet admitted
+}
+
+// rowRef addresses one not-yet-admitted row of a retained batch.
+type rowRef struct {
+	pb  *pendingBlock
+	row int32
 }
 
 // Process implements streams.Processor. SDE items are consumed; when
@@ -315,6 +384,136 @@ func (p *rtecProcessor) Process(it streams.Item) (streams.Item, error) {
 	rep := p.due[0]
 	p.due = p.due[1:]
 	return rep, nil
+}
+
+// ProcessBatch implements streams.BatchProcessor: the columnar
+// counterpart of Process. Rows are consumed strictly in order — each
+// row advances its stream's watermark and re-checks due boundaries
+// exactly as a per-item delivery of the same event would — so the
+// sequence of (admission, evaluation) steps, and with it the CE
+// output, is bit-identical to per-item transport. The batch is
+// retained until boundary admission has drained it.
+func (p *rtecProcessor) ProcessBatch(b *streams.Batch) ([]streams.Item, error) {
+	n := b.Len()
+	if n == 0 {
+		b.Release()
+		return nil, nil
+	}
+	pb := &pendingBlock{batch: b, blk: dublin.Block(b), pending: n}
+	src := b.Source
+	if p.batchCantFire(src, b.Arrivals[n-1]) {
+		// No query boundary can become due anywhere inside this batch,
+		// so the per-row watermark walk is unobservable: every row just
+		// joins the pending set and the stream's watermark ends at the
+		// batch's last arrival — exactly the state the per-row loop
+		// leaves behind.
+		for i := 0; i < n; i++ {
+			p.pendingRows = append(p.pendingRows, rowRef{pb: pb, row: int32(i)})
+		}
+		p.watermarks[src] = Time(b.Arrivals[n-1])
+	} else {
+		for i := 0; i < n; i++ {
+			p.pendingRows = append(p.pendingRows, rowRef{pb: pb, row: int32(i)})
+			p.watermarks[src] = Time(b.Arrivals[i])
+			if err := p.fireDue(context.Background()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := p.due
+	p.due = nil
+	return out, nil
+}
+
+// batchCantFire reports whether advancing src's arrival watermark to
+// last — the batch's final row — provably cannot release any query
+// boundary, in which case ProcessBatch may skip the per-row fireDue
+// walk. The check is conservative: it bounds the effective watermark
+// from above by giving src its final value and excluding the maximal
+// possible degraded set (degradation only ever excludes the laggards,
+// which raises the minimum). Degradation state itself is recomputed
+// from the current watermarks on every fireDue call, so skipping the
+// interim recomputations is unobservable.
+func (p *rtecProcessor) batchCantFire(src string, last int64) bool {
+	if p.nextQ > p.until {
+		return true // no boundaries left; Flush owns the leftovers
+	}
+	maxW := Time(last)
+	for id, w := range p.watermarks {
+		if id != src && w > maxW {
+			maxW = w
+		}
+	}
+	watermark := Time(0)
+	first := true
+	for id, w := range p.watermarks {
+		if id == src {
+			w = Time(last)
+		}
+		if p.staleness > 0 && maxW-w > p.staleness {
+			continue
+		}
+		if first || w < watermark {
+			watermark, first = w, false
+		}
+	}
+	if first {
+		return false // every stream excluded; let fireDue decide
+	}
+	return watermark <= p.nextQ
+}
+
+// admitRows delivers every pending batch row with arrival <= q to the
+// engines, in pending order, flushing consecutive same-block runs as
+// one InputBlockRows call. Batches whose last row is admitted are
+// released back to the transport pool.
+func (p *rtecProcessor) admitRows(q Time) (int, error) {
+	if len(p.pendingRows) == 0 {
+		return 0, nil
+	}
+	fed := 0
+	kept := p.pendingRows[:0]
+	var runPB *pendingBlock
+	var drained []*pendingBlock
+	p.runRows = p.runRows[:0]
+	flushRun := func() error {
+		if runPB == nil || len(p.runRows) == 0 {
+			return nil
+		}
+		err := p.system.engines.InputBlockRows(runPB.blk, p.runRows)
+		p.runRows = p.runRows[:0]
+		return err
+	}
+	for _, ref := range p.pendingRows {
+		if Time(ref.pb.batch.Arrivals[ref.row]) > q {
+			kept = append(kept, ref)
+			continue
+		}
+		if ref.pb != runPB {
+			if err := flushRun(); err != nil {
+				return fed, err
+			}
+			runPB = ref.pb
+		}
+		p.runRows = append(p.runRows, ref.row)
+		if ref.pb.blk.Type == traffic.TrafficType {
+			p.system.noteTraffic(ref.pb.blk.Event(int(ref.row)))
+		}
+		fed++
+		if ref.pb.pending--; ref.pb.pending == 0 {
+			drained = append(drained, ref.pb)
+		}
+	}
+	if err := flushRun(); err != nil {
+		return fed, err
+	}
+	p.pendingRows = kept
+	// Safe only now: the engines copied every admitted row above.
+	for _, pb := range drained {
+		pb.blk = nil
+		pb.batch.Release()
+	}
+	return fed, nil
 }
 
 // fireDue evaluates every query boundary the minimum arrival watermark
@@ -379,6 +578,11 @@ func (p *rtecProcessor) fireDue(ctx context.Context) error {
 			}
 		}
 		p.pending = kept
+		fedRows, err := p.admitRows(q)
+		if err != nil {
+			return err
+		}
+		fed += fedRows
 		rep, err := p.system.evaluate(ctx, q, fed, false)
 		if err != nil {
 			return err
@@ -401,6 +605,16 @@ func (p *rtecProcessor) Flush() ([]streams.Item, error) {
 	if err := p.fireDue(context.Background()); err != nil {
 		return nil, err
 	}
+	// Rows arriving after the final boundary are never admitted (the
+	// per-item path leaves their events in pending the same way);
+	// return their transport buffers to the pool.
+	for _, ref := range p.pendingRows {
+		if ref.pb.blk != nil {
+			ref.pb.blk = nil
+			ref.pb.batch.Release()
+		}
+	}
+	p.pendingRows = nil
 	out := p.due
 	p.due = nil
 	return out, nil

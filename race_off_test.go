@@ -1,0 +1,7 @@
+//go:build !race
+
+package insight
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// budget tests skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -1,0 +1,223 @@
+package rtec
+
+// Columnar SDE ingestion. The transport layer moves batches of
+// same-typed events as struct-of-arrays blocks; instead of decoding
+// each row into an attribute map before insertion, the engine copies
+// the admitted rows into an owned Block and files lightweight view
+// Events whose accessors read the columns directly. The store, the
+// window machinery and every CE definition see ordinary Events — the
+// view is behaviourally identical to a map-backed event with the same
+// attributes (accessor coercions included) — but ingestion performs a
+// handful of slice copies per block rather than one map allocation plus
+// per-attribute boxing per event.
+
+// ColKind is the value type of one block column.
+type ColKind uint8
+
+const (
+	// ColFloat is a float64 column.
+	ColFloat ColKind = iota
+	// ColInt is an int64 column.
+	ColInt
+	// ColBool is a bool column.
+	ColBool
+	// ColStr is a dictionary-encoded string column.
+	ColStr
+)
+
+// BCol is one named attribute column of a Block. Exactly one data
+// slice is populated, according to Kind; string columns carry per-row
+// indexes into the small Dict table of distinct values.
+type BCol struct {
+	Name string
+	Kind ColKind
+
+	F    []float64
+	I    []int64
+	B    []bool
+	SIdx []uint32
+	Dict []string
+}
+
+// Block is a columnar batch of same-typed SDEs: occurrence times and
+// entity keys in flat slices, one BCol per attribute, all of equal
+// length. Times is []int64 rather than []Time so transport batches
+// (whose flat slices are untyped int64) convert without copying.
+// Blocks handed to InputBlock are read-only from the engine's
+// perspective; the engine copies what it keeps, so the caller may
+// recycle the block immediately after the call returns.
+type Block struct {
+	Type  string
+	Times []int64
+	Keys  []string
+	Cols  []BCol
+
+	// KIdx/KDict optionally dictionary-encode Keys (KIdx[i] indexes
+	// KDict, one entry per row when present). The store uses them to
+	// group rows by entity key with small-integer ids instead of
+	// hashing the key string per row; both may be nil, the key strings
+	// in Keys stay authoritative either way. KDict entries must be
+	// stable for the duration of the InputBlock call — the engine only
+	// reads them transiently during insertion.
+	KIdx  []uint32
+	KDict []string
+}
+
+// Len returns the number of rows.
+func (b *Block) Len() int { return len(b.Times) }
+
+// Event returns the view event of row i: an Event whose attribute
+// accessors read b's columns. The view is valid for as long as the
+// block is; the engine only builds views over blocks it owns.
+func (b *Block) Event(i int) Event {
+	return Event{Type: b.Type, Time: Time(b.Times[i]), Key: b.Keys[i], blk: b, row: int32(i)}
+}
+
+// Column returns the named attribute column, or nil if the block does
+// not carry it. The pointer is into b's Cols slice and is valid while
+// the block is.
+func (b *Block) Column(name string) *BCol {
+	ci := b.colIndex(name)
+	if ci < 0 {
+		return nil
+	}
+	return &b.Cols[ci]
+}
+
+func (b *Block) colIndex(name string) int {
+	for i := range b.Cols {
+		if b.Cols[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// getAt is the Event.Get backend: the boxed value of one cell.
+func (b *Block) getAt(name string, row int) (any, bool) {
+	ci := b.colIndex(name)
+	if ci < 0 {
+		return nil, false
+	}
+	c := &b.Cols[ci]
+	switch c.Kind {
+	case ColFloat:
+		return c.F[row], true
+	case ColInt:
+		return c.I[row], true
+	case ColBool:
+		return c.B[row], true
+	default:
+		return c.Dict[c.SIdx[row]], true
+	}
+}
+
+// floatAt mirrors the map accessor's coercions: float64 and integer
+// attributes convert; strings and bools don't.
+func (b *Block) floatAt(name string, row int) (float64, bool) {
+	ci := b.colIndex(name)
+	if ci < 0 {
+		return 0, false
+	}
+	c := &b.Cols[ci]
+	switch c.Kind {
+	case ColFloat:
+		return c.F[row], true
+	case ColInt:
+		return float64(c.I[row]), true
+	}
+	return 0, false
+}
+
+// intAt mirrors the map accessor's coercions (floats truncate).
+func (b *Block) intAt(name string, row int) (int64, bool) {
+	ci := b.colIndex(name)
+	if ci < 0 {
+		return 0, false
+	}
+	c := &b.Cols[ci]
+	switch c.Kind {
+	case ColInt:
+		return c.I[row], true
+	case ColFloat:
+		return int64(c.F[row]), true
+	}
+	return 0, false
+}
+
+func (b *Block) strAt(name string, row int) (string, bool) {
+	ci := b.colIndex(name)
+	if ci < 0 || b.Cols[ci].Kind != ColStr {
+		return "", false
+	}
+	c := &b.Cols[ci]
+	return c.Dict[c.SIdx[row]], true
+}
+
+func (b *Block) boolAt(name string, row int) (bool, bool) {
+	ci := b.colIndex(name)
+	if ci < 0 || b.Cols[ci].Kind != ColBool {
+		return false, false
+	}
+	return b.Cols[ci].B[row], true
+}
+
+// copyRows gathers the given rows of src into a freshly allocated
+// block the engine owns. Column kinds and names carry over; string
+// dictionaries are copied whole and the row indexes gathered, so no
+// re-interning (and no hashing at all) happens per row.
+func copyRows(src *Block, rows []int32) *Block {
+	n := len(rows)
+	dst := &Block{
+		Type:  src.Type,
+		Times: make([]int64, n),
+		Keys:  make([]string, n),
+		Cols:  make([]BCol, len(src.Cols)),
+	}
+	for j, r := range rows {
+		dst.Times[j] = src.Times[r]
+		dst.Keys[j] = src.Keys[r]
+	}
+	if src.KIdx != nil {
+		// Gather the key ids and alias the dictionary: both are only
+		// read during the insertion that immediately follows, and the
+		// source block is live for that long by contract (the caller
+		// may recycle it only after InputBlock returns). inputBlock
+		// drops them afterwards so the owned block never pins the
+		// transport dictionary.
+		dst.KIdx = make([]uint32, n)
+		for j, r := range rows {
+			dst.KIdx[j] = src.KIdx[r]
+		}
+		dst.KDict = src.KDict
+	}
+	for ci := range src.Cols {
+		sc := &src.Cols[ci]
+		dc := &dst.Cols[ci]
+		dc.Name, dc.Kind = sc.Name, sc.Kind
+		switch sc.Kind {
+		case ColFloat:
+			dc.F = make([]float64, n)
+			for j, r := range rows {
+				dc.F[j] = sc.F[r]
+			}
+		case ColInt:
+			dc.I = make([]int64, n)
+			for j, r := range rows {
+				dc.I[j] = sc.I[r]
+			}
+		case ColBool:
+			dc.B = make([]bool, n)
+			for j, r := range rows {
+				dc.B[j] = sc.B[r]
+			}
+		default:
+			dc.Dict = append([]string(nil), sc.Dict...)
+			dc.SIdx = make([]uint32, n)
+			for j, r := range rows {
+				dc.SIdx[j] = sc.SIdx[r]
+			}
+		}
+	}
+	return dst
+}

@@ -3,6 +3,8 @@ package rtec
 import (
 	"fmt"
 	"runtime"
+	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,6 +64,13 @@ type Engine struct {
 	// seen tracks derived event instances already reported, for
 	// Result.Fresh. Pruned as instances fall out of the window.
 	seen map[derivedID]bool
+
+	// rowScratch is the reusable admitted-row buffer of inputBlock;
+	// sortKeys and rowCopy are the reusable buffers of its packed
+	// time sort.
+	rowScratch []int32
+	sortKeys   []uint64
+	rowCopy    []int32
 }
 
 type derivedID struct {
@@ -121,6 +130,106 @@ func (e *Engine) Input(events ...Event) error {
 		e.store.insert(ev, e.started && ev.Time <= e.lastQ)
 	}
 	return nil
+}
+
+// InputBlock delivers a columnar batch of SDEs: every row of the block
+// is filed, in row order, with exactly the semantics of Input — rows
+// too old to ever appear in a window again are skipped, rows at or
+// before the last query time are marked late. The engine copies the
+// admitted rows into a block it owns, so the caller may reuse b
+// immediately.
+func (e *Engine) InputBlock(b *Block) error {
+	return e.inputBlock(b, nil)
+}
+
+// InputBlockRows is InputBlock restricted to the given rows of b, in
+// the given order.
+func (e *Engine) InputBlockRows(b *Block, rows []int32) error {
+	return e.inputBlock(b, rows)
+}
+
+func (e *Engine) inputBlock(b *Block, rows []int32) error {
+	if !e.defs.IsSDE(b.Type) {
+		return fmt.Errorf("rtec: event type %q was not declared as an SDE", b.Type)
+	}
+	tooOld := e.lastQ - e.opts.WorkingMemory
+	e.rowScratch = e.rowScratch[:0]
+	if rows == nil {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			if e.started && Time(b.Times[i]) <= tooOld {
+				continue // too old to ever appear in a window again
+			}
+			e.rowScratch = append(e.rowScratch, int32(i))
+		}
+	} else {
+		for _, r := range rows {
+			if e.started && Time(b.Times[r]) <= tooOld {
+				continue
+			}
+			e.rowScratch = append(e.rowScratch, r)
+		}
+	}
+	if len(e.rowScratch) == 0 {
+		return nil
+	}
+	// Sort the admitted rows by occurrence time, stably, so the owned
+	// block meets insertBlock's contract. Delivery (arrival) order is
+	// preserved on ties, and since a bucket's time-sorted
+	// arrival-stable order is unique, the store ends up bit-identical
+	// to per-row insertion. Mediator jitter is bounded, so most blocks
+	// arrive already sorted and the sort is a single scan.
+	sorted := true
+	for i := 1; i < len(e.rowScratch); i++ {
+		if b.Times[e.rowScratch[i-1]] > b.Times[e.rowScratch[i]] {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		e.sortRows(b)
+	}
+	owned := copyRows(b, e.rowScratch)
+	e.store.insertBlock(owned, e.started, e.lastQ)
+	// The key dictionary was only needed to group the insertion; drop
+	// it so the long-lived owned block doesn't pin the caller's table.
+	owned.KIdx, owned.KDict = nil, nil
+	return nil
+}
+
+// sortRows stably sorts rowScratch by occurrence time. The hot path
+// packs (time − minTime, position) pairs into uint64 keys and sorts
+// those — branch-predictable integer comparisons, no closure calls —
+// with the position in the low bits carrying the stability tie-break.
+// Blocks whose time span overflows the packing (44 bits of delta, 20
+// bits of position — never with bounded mediator jitter) fall back to
+// the stable comparison sort.
+func (e *Engine) sortRows(b *Block) {
+	rs := e.rowScratch
+	minT := b.Times[rs[0]]
+	maxT := minT
+	for _, r := range rs[1:] {
+		if t := b.Times[r]; t < minT {
+			minT = t
+		} else if t > maxT {
+			maxT = t
+		}
+	}
+	const posBits = 20
+	if len(rs) >= 1<<posBits || uint64(maxT-minT) >= 1<<(64-posBits) {
+		sort.SliceStable(rs, func(i, j int) bool { return b.Times[rs[i]] < b.Times[rs[j]] })
+		return
+	}
+	keys := e.sortKeys[:0]
+	for j, r := range rs {
+		keys = append(keys, uint64(b.Times[r]-minT)<<posBits|uint64(j))
+	}
+	slices.Sort(keys)
+	e.sortKeys = keys
+	e.rowCopy = append(e.rowCopy[:0], rs...)
+	for j, k := range keys {
+		rs[j] = e.rowCopy[k&(1<<posBits-1)]
+	}
 }
 
 // Result is the outcome of one query-time evaluation.

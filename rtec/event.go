@@ -52,11 +52,19 @@ const (
 // SCATS sensor ID, an intersection ID); the engine indexes events by
 // (Type, Key) so rules can join efficiently. Additional attributes
 // live in Attrs.
+// An Event is either map-backed (Attrs holds the attributes) or a
+// columnar view (blk/row point into an engine-owned Block and the
+// accessors read the columns). The two representations are
+// behaviourally identical through the accessor methods; code must not
+// read Attrs directly on events it did not build itself.
 type Event struct {
 	Type  string
 	Time  Time
 	Key   string
 	Attrs map[string]any
+
+	blk *Block
+	row int32
 }
 
 // NewEvent builds an event. The attrs map is used as-is (not copied).
@@ -66,6 +74,9 @@ func NewEvent(typ string, t Time, key string, attrs map[string]any) Event {
 
 // Get returns a raw attribute and whether it was present.
 func (e Event) Get(name string) (any, bool) {
+	if e.blk != nil {
+		return e.blk.getAt(name, int(e.row))
+	}
 	v, ok := e.Attrs[name]
 	return v, ok
 }
@@ -73,6 +84,9 @@ func (e Event) Get(name string) (any, bool) {
 // Float returns a float64 attribute. Missing or differently-typed
 // attributes yield (0, false). Integer attributes are converted.
 func (e Event) Float(name string) (float64, bool) {
+	if e.blk != nil {
+		return e.blk.floatAt(name, int(e.row))
+	}
 	switch v := e.Attrs[name].(type) {
 	case float64:
 		return v, true
@@ -87,6 +101,9 @@ func (e Event) Float(name string) (float64, bool) {
 // Int returns an int64 attribute. Missing or differently-typed
 // attributes yield (0, false). Float attributes are truncated.
 func (e Event) Int(name string) (int64, bool) {
+	if e.blk != nil {
+		return e.blk.intAt(name, int(e.row))
+	}
 	switch v := e.Attrs[name].(type) {
 	case int64:
 		return v, true
@@ -100,12 +117,18 @@ func (e Event) Int(name string) (int64, bool) {
 
 // Str returns a string attribute.
 func (e Event) Str(name string) (string, bool) {
+	if e.blk != nil {
+		return e.blk.strAt(name, int(e.row))
+	}
 	v, ok := e.Attrs[name].(string)
 	return v, ok
 }
 
 // Bool returns a boolean attribute.
 func (e Event) Bool(name string) (bool, bool) {
+	if e.blk != nil {
+		return e.blk.boolAt(name, int(e.row))
+	}
 	v, ok := e.Attrs[name].(bool)
 	return v, ok
 }

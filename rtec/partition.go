@@ -17,6 +17,16 @@ import (
 type Partitioned struct {
 	engines []*Engine
 	assign  func(Event) int
+	// blockAssign, when set, routes block rows without materializing
+	// per-row view Events: it is called once per block and the
+	// returned function once per row, so column lookups are hoisted
+	// out of the row loop. Must agree with assign on every row.
+	blockAssign func(*Block) func(int) int
+
+	// scratch holds the per-partition row lists InputBlock routes
+	// into; reused across calls (Input* calls must not be concurrent,
+	// matching the single-writer contract of the underlying engines).
+	scratch [][]int32
 }
 
 // NewPartitioned builds n engines sharing the (immutable) definition
@@ -40,6 +50,15 @@ func NewPartitioned(defs *Definitions, opts Options, n int, assign func(Event) i
 	return p, nil
 }
 
+// SetBlockAssign installs a block-level partition router used by
+// InputBlock and InputBlockRows in place of the per-event assign
+// function. f is called once per block; the function it returns maps a
+// row index to a partition and must return, for every row, exactly the
+// partition assign returns for that row's view Event — the router is a
+// performance hook, not a semantic one. Pass nil to fall back to
+// per-row Event routing.
+func (p *Partitioned) SetBlockAssign(f func(*Block) func(int) int) { p.blockAssign = f }
+
 // NumPartitions returns the number of engines.
 func (p *Partitioned) NumPartitions() int { return len(p.engines) }
 
@@ -55,6 +74,68 @@ func (p *Partitioned) Input(events ...Event) error {
 			return fmt.Errorf("rtec: event %v assigned to invalid partition %d", ev, i)
 		}
 		if err := p.engines[i].Input(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InputBlock routes the rows of a columnar batch to their partitions.
+// Row order is preserved within each partition, so the per-engine
+// store ends up in exactly the state per-event routing produces.
+func (p *Partitioned) InputBlock(b *Block) error {
+	return p.inputBlock(b, nil)
+}
+
+// InputBlockRows is InputBlock restricted to the given rows of b, in
+// the given order.
+func (p *Partitioned) InputBlockRows(b *Block, rows []int32) error {
+	return p.inputBlock(b, rows)
+}
+
+func (p *Partitioned) inputBlock(b *Block, rows []int32) error {
+	if p.scratch == nil {
+		p.scratch = make([][]int32, len(p.engines))
+	}
+	for i := range p.scratch {
+		p.scratch[i] = p.scratch[i][:0]
+	}
+	var rowOf func(int) int
+	if p.blockAssign != nil {
+		rowOf = p.blockAssign(b)
+	}
+	route := func(r int32) error {
+		var i int
+		if rowOf != nil {
+			i = rowOf(int(r))
+		} else {
+			i = p.assign(b.Event(int(r)))
+		}
+		if i < 0 || i >= len(p.engines) {
+			return fmt.Errorf("rtec: event %v assigned to invalid partition %d", b.Event(int(r)), i)
+		}
+		p.scratch[i] = append(p.scratch[i], r)
+		return nil
+	}
+	if rows == nil {
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			if err := route(int32(r)); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, r := range rows {
+			if err := route(r); err != nil {
+				return err
+			}
+		}
+	}
+	for i, part := range p.scratch {
+		if len(part) == 0 {
+			continue
+		}
+		if err := p.engines[i].InputBlockRows(b, part); err != nil {
 			return err
 		}
 	}

@@ -17,6 +17,13 @@ import "sort"
 // rest is reusable.
 type eventStore struct {
 	types map[string]*typeEvents
+	// mergeScratch is the reusable overlap buffer of mergeBlock;
+	// kidCnt/kidEnd/kidOrder are the reusable per-key grouping buffers
+	// of insertKeyGroups.
+	mergeScratch []Event
+	kidCnt       []int32
+	kidEnd       []int32
+	kidOrder     []int32
 }
 
 type typeEvents struct {
@@ -49,6 +56,154 @@ func (s *eventStore) insert(ev Event, late bool) {
 	if late && ev.Time < b.lateMin {
 		b.lateMin = ev.Time
 	}
+}
+
+// insertBlock files every row of an engine-owned block whose rows are
+// time-sorted (ties in arrival order — the engine sorts admitted rows
+// stably before gathering them). The resulting store state is exactly
+// what row-by-row insert produces: the time-sorted, arrival-stable
+// order of a bucket is unique, so insertion order never shows. Sorting
+// first is what makes the type bucket cheap to maintain — one bulk
+// merge per block instead of a binary search and an O(overlap) shift
+// per row — and it turns the per-key appends into insertSorted's O(1)
+// fast path, since each key's rows now arrive in time order.
+func (s *eventStore) insertBlock(blk *Block, started bool, lastQ Time) {
+	n := blk.Len()
+	if n == 0 {
+		return
+	}
+	b := s.types[blk.Type]
+	if b == nil {
+		b = &typeEvents{byKey: make(map[string][]Event), lateMin: MaxTime}
+		s.types[blk.Type] = b
+	}
+	s.mergeBlock(b, blk)
+	if blk.KIdx != nil {
+		s.insertKeyGroups(b, blk)
+	} else {
+		for i := 0; i < n; i++ {
+			// Inline insertSorted's fast path: the block's rows reach
+			// each key in time order, so the per-key append almost
+			// never needs the binary-search shift — and skipping the
+			// call avoids copying the Event argument twice.
+			key := blk.Keys[i]
+			kb := b.byKey[key]
+			if m := len(kb); m == 0 || kb[m-1].Time <= Time(blk.Times[i]) {
+				b.byKey[key] = append(kb, blk.Event(i))
+			} else {
+				b.byKey[key] = insertSorted(kb, blk.Event(i))
+			}
+		}
+	}
+	if started {
+		for i := 0; i < n; i++ {
+			if t := Time(blk.Times[i]); t <= lastQ && t < b.lateMin {
+				b.lateMin = t
+			}
+		}
+	}
+}
+
+// insertKeyGroups files the block's rows into the per-key index using
+// the key dictionary: rows are grouped by key id with a counting pass
+// (no hashing), and the byKey map is touched once per distinct key
+// instead of once per row. Row order is preserved within each group,
+// so every key's sub-sequence arrives time-sorted and the resulting
+// per-key slices are exactly what the per-row loop produces.
+func (s *eventStore) insertKeyGroups(b *typeEvents, blk *Block) {
+	n := blk.Len()
+	nk := len(blk.KDict)
+	cnt := resizeInt32(&s.kidCnt, nk)
+	for _, kid := range blk.KIdx {
+		cnt[kid]++
+	}
+	end := resizeInt32(&s.kidEnd, nk)
+	sum := int32(0)
+	for k, c := range cnt {
+		sum += c
+		end[k] = sum
+	}
+	order := resizeInt32(&s.kidOrder, n)
+	for i := n - 1; i >= 0; i-- {
+		kid := blk.KIdx[i]
+		end[kid]--
+		order[end[kid]] = int32(i)
+	}
+	// end[k] is now the start of group k; its length is cnt[k].
+	for k := 0; k < nk; k++ {
+		c := cnt[k]
+		if c == 0 {
+			continue
+		}
+		rows := order[end[k] : end[k]+c]
+		kb := b.byKey[blk.KDict[k]]
+		for _, i := range rows {
+			if m := len(kb); m == 0 || kb[m-1].Time <= Time(blk.Times[i]) {
+				kb = append(kb, blk.Event(int(i)))
+			} else {
+				kb = insertSorted(kb, blk.Event(int(i)))
+			}
+		}
+		b.byKey[blk.KDict[k]] = kb
+	}
+}
+
+// resizeInt32 sizes the reusable buffer to n zeroed entries.
+func resizeInt32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+		return *buf
+	}
+	*buf = (*buf)[:n]
+	clear(*buf)
+	return *buf
+}
+
+// mergeBlock merges the time-sorted rows of blk into the type bucket's
+// time-sorted events. The common case — the block lands entirely after
+// the stored events — is a pure bulk append; otherwise only the
+// overlapping tail (mediator-delay jitter, typically a few dozen
+// events) is re-merged, with existing events kept ahead of new ones on
+// time ties to preserve arrival order.
+func (s *eventStore) mergeBlock(b *typeEvents, blk *Block) {
+	n := blk.Len()
+	evs := b.events
+	if len(evs) == 0 || evs[len(evs)-1].Time <= Time(blk.Times[0]) {
+		base := len(evs)
+		if need := base + n; need > cap(evs) {
+			grown := make([]Event, base, max(need, 2*cap(evs)))
+			copy(grown, evs)
+			evs = grown
+		}
+		evs = evs[:base+n]
+		for i := 0; i < n; i++ {
+			evs[base+i] = blk.Event(i)
+		}
+		b.events = evs
+		return
+	}
+	cut := sort.Search(len(evs), func(i int) bool { return evs[i].Time > Time(blk.Times[0]) })
+	s.mergeScratch = append(s.mergeScratch[:0], evs[cut:]...)
+	tail := s.mergeScratch
+	evs = evs[:cut]
+	i, j := 0, 0
+	for i < len(tail) && j < n {
+		if tail[i].Time <= Time(blk.Times[j]) {
+			evs = append(evs, tail[i])
+			i++
+		} else {
+			evs = append(evs, blk.Event(j))
+			j++
+		}
+	}
+	evs = append(evs, tail[i:]...)
+	for ; j < n; j++ {
+		evs = append(evs, blk.Event(j))
+	}
+	b.events = evs
+	// Drop the scratch's event references (they pin view blocks past
+	// eviction otherwise); the backing array is reused next merge.
+	clear(s.mergeScratch)
 }
 
 // insertSorted places ev after every event with Time <= ev.Time. The

@@ -183,6 +183,14 @@ func (c *ChaosSource) ReadContext(ctx context.Context) (Item, bool) {
 				continue
 			}
 		}
+		if pb, isBatch := ItemBatch(it); isBatch {
+			out := c.faultBatch(pb)
+			if out == nil {
+				continue // every row dropped or held
+			}
+			c.stats.Emitted++
+			return out, true
+		}
 		if c.spec.DropProb > 0 && c.rng.Float64() < c.spec.DropProb {
 			c.stats.Dropped++
 			continue
@@ -199,6 +207,47 @@ func (c *ChaosSource) ReadContext(ctx context.Context) (Item, bool) {
 		c.stats.Emitted++
 		return it, true
 	}
+}
+
+// faultBatch applies row-level drop/delay/dup faults to a batch
+// envelope, consuming rng draws in the exact per-row order of the
+// per-item path (drop, then delay, then dup, each guarded by its
+// probability) — with the same seed and DelayProb = 0, the faulted
+// batched stream carries exactly the rows of the faulted per-item
+// stream, in the same order. Delayed rows are held as single-row
+// batches whose due countdown runs in batch reads (the reorder unit of
+// batched transport). Returns nil when no row survives; otherwise the
+// surviving rows in a fresh pooled batch. The input batch is consumed.
+func (c *ChaosSource) faultBatch(b *Batch) Item {
+	if c.spec.DropProb <= 0 && c.spec.DelayProb <= 0 && c.spec.DupProb <= 0 {
+		return BatchItem(b) // nothing to inject: forward untouched
+	}
+	out := GetBatch(b.Type, b.Source)
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if c.spec.DropProb > 0 && c.rng.Float64() < c.spec.DropProb {
+			c.stats.Dropped++
+			continue
+		}
+		if c.spec.DelayProb > 0 && c.rng.Float64() < c.spec.DelayProb {
+			c.stats.Delayed++
+			held := GetBatch(b.Type, b.Source)
+			held.AppendRowFrom(b, i)
+			c.held = append(c.held, heldItem{it: BatchItem(held), due: 1 + c.rng.Intn(c.spec.DelayMax)})
+			continue
+		}
+		out.AppendRowFrom(b, i)
+		if c.spec.DupProb > 0 && c.rng.Float64() < c.spec.DupProb {
+			c.stats.Duplicated++
+			out.AppendRowFrom(b, i)
+		}
+	}
+	b.Release()
+	if out.Len() == 0 {
+		out.Release()
+		return nil
+	}
+	return BatchItem(out)
 }
 
 // ChaosProcessor wraps a Processor and injects errors with
@@ -230,20 +279,53 @@ func (c *ChaosProcessor) Stats() ChaosStats {
 	return c.stats
 }
 
-// Process implements Processor.
-func (c *ChaosProcessor) Process(it Item) (Item, error) {
+// draw samples one injection decision (shared by Process and
+// ProcessBatch; for batched transport the fault unit is the envelope).
+func (c *ChaosProcessor) draw() (fail bool, n int) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.seen++
-	n := c.seen
-	fail := c.spec.ErrProb > 0 && c.rng.Float64() < c.spec.ErrProb
+	fail = c.spec.ErrProb > 0 && c.rng.Float64() < c.spec.ErrProb
 	if fail {
 		c.stats.Errors++
 	} else {
 		c.stats.Emitted++
 	}
-	c.mu.Unlock()
+	return fail, c.seen
+}
+
+// Process implements Processor.
+func (c *ChaosProcessor) Process(it Item) (Item, error) {
+	fail, n := c.draw()
 	if fail {
 		return nil, fmt.Errorf("%w (item %d)", ErrInjected, n)
 	}
 	return c.inner.Process(it)
+}
+
+// ProcessBatch implements BatchProcessor: one injection draw per batch
+// (a transport fault hits the whole envelope), then the batch is
+// forwarded to the wrapped processor — natively when it is
+// batch-aware, otherwise row by row through its compatibility view.
+func (c *ChaosProcessor) ProcessBatch(b *Batch) ([]Item, error) {
+	fail, n := c.draw()
+	if fail {
+		return nil, fmt.Errorf("%w (batch %d)", ErrInjected, n)
+	}
+	if bp, aware := c.inner.(BatchProcessor); aware {
+		return bp.ProcessBatch(b)
+	}
+	var outs []Item
+	rows := b.Len()
+	for i := 0; i < rows; i++ {
+		out, err := c.inner.Process(b.ItemAt(i))
+		if err != nil {
+			return outs, err
+		}
+		if out != nil {
+			outs = append(outs, out)
+		}
+	}
+	b.Release()
+	return outs, nil
 }

@@ -15,6 +15,7 @@ package streams
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 )
@@ -38,8 +39,14 @@ func (it Item) String(key string) string {
 }
 
 // Float returns a numeric attribute as float64. It coerces every
-// numeric payload type the feeds produce (float64/float32,
-// int/int32/int64, uint); anything else yields 0.
+// numeric payload type the feeds produce — float64/float32,
+// int/int32/int64, uint/uint32/uint64, and json.Number (for items
+// decoded straight from JSON feeds) — anything else yields 0.
+//
+// Coercion semantics: integer values above 2^53 lose precision in the
+// usual float64 way; uint64 values above math.MaxInt64 convert exactly
+// (no wraparound — the conversion goes straight to float64); a
+// json.Number that does not parse as a float yields 0.
 func (it Item) Float(key string) float64 {
 	switch v := it[key].(type) {
 	case float64:
@@ -54,12 +61,29 @@ func (it Item) Float(key string) float64 {
 		return float64(v)
 	case uint:
 		return float64(v)
+	case uint32:
+		return float64(v)
+	case uint64:
+		return float64(v)
+	case json.Number:
+		f, err := v.Float64()
+		if err != nil {
+			return 0
+		}
+		return f
 	}
 	return 0
 }
 
 // Int returns a numeric attribute as int64, coercing the same payload
-// types as Float (floats are truncated).
+// types as Float.
+//
+// Truncation semantics: floats truncate toward zero (1.9 → 1,
+// -1.9 → -1); a uint or uint64 above math.MaxInt64 wraps (two's
+// complement conversion) — feeds do not produce such values, and
+// callers that could see them must range-check before coercing; a
+// json.Number is parsed as an int64 first and falls back to
+// parse-as-float-then-truncate, yielding 0 if neither parse succeeds.
 func (it Item) Int(key string) int64 {
 	switch v := it[key].(type) {
 	case int64:
@@ -70,10 +94,22 @@ func (it Item) Int(key string) int64 {
 		return int64(v)
 	case uint:
 		return int64(v)
+	case uint32:
+		return int64(v)
+	case uint64:
+		return int64(v)
 	case float64:
 		return int64(v)
 	case float32:
 		return int64(v)
+	case json.Number:
+		if n, err := v.Int64(); err == nil {
+			return n
+		}
+		if f, err := v.Float64(); err == nil {
+			return int64(f)
+		}
+		return 0
 	}
 	return 0
 }

@@ -18,6 +18,12 @@ type Process struct {
 	Processors []Processor
 	Output     Sink // optional; nil discards
 	Policy     SupervisionPolicy
+
+	// outBuf is the reusable output accumulator of processItem: a
+	// single input item can fan out (a batch envelope expanding into
+	// rows, a BatchProcessor emitting several reports), and reusing
+	// the slice keeps the per-item steady state allocation-free.
+	outBuf []Item
 }
 
 // ContextSource is an optional Source extension whose Read can be
@@ -67,27 +73,69 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// applyChain pipes the item through the processors starting at index
-// from. A nil item means the chain dropped it.
-func (p *Process) applyChain(from int, it Item) (Item, error) {
-	var err error
-	for _, proc := range p.Processors[from:] {
-		it, err = proc.Process(it)
-		if err != nil {
-			return nil, err
-		}
-		if it == nil {
-			return nil, nil
-		}
+// applyFrom pipes the item through the processors starting at index
+// from, appending every surviving output to dst. A single input can
+// produce zero, one or many outputs: a batch envelope handed to a
+// non-batch-aware processor is expanded into its row items (each piped
+// through the rest of the chain, then the batch released), and a
+// BatchProcessor may emit several items per batch.
+func (p *Process) applyFrom(from int, it Item, dst []Item) ([]Item, error) {
+	if from >= len(p.Processors) {
+		//lint:allow itemalias the chain is done with the item: ownership transfers to the output buffer
+		return append(dst, it), nil
 	}
-	return it, nil
+	proc := p.Processors[from]
+	if b, isBatch := ItemBatch(it); isBatch {
+		if bp, aware := proc.(BatchProcessor); aware {
+			// Ownership of the batch transfers to the processor.
+			outs, err := bp.ProcessBatch(b)
+			if err != nil {
+				return dst, err
+			}
+			for _, out := range outs {
+				var cErr error
+				dst, cErr = p.applyFrom(from+1, out, dst)
+				if cErr != nil {
+					return dst, cErr
+				}
+			}
+			return dst, nil
+		}
+		// Compatibility expansion: the processor is not batch-aware,
+		// so feed it the rows as lazily materialized Items. The rows
+		// are copies, so the batch can be released as soon as the last
+		// one has been piped. On error the batch is kept live: the
+		// supervision layer may dead-letter or retry the envelope.
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			var cErr error
+			dst, cErr = p.applyFrom(from, b.ItemAt(i), dst)
+			if cErr != nil {
+				return dst, cErr
+			}
+		}
+		b.Release()
+		return dst, nil
+	}
+	out, err := proc.Process(it)
+	if err != nil {
+		return dst, err
+	}
+	if out == nil {
+		return dst, nil
+	}
+	return p.applyFrom(from+1, out, dst)
 }
 
 // processItem applies the processor chain under the process's
-// supervision policy. A nil item with nil error means the item was
-// dropped (by the chain or by dead-lettering).
-func (p *Process) processItem(ctx context.Context, sup *supervisor, it Item) (Item, error) {
-	out, err := p.applyChain(0, it)
+// supervision policy, returning the surviving outputs in a buffer that
+// is only valid until the next call. An empty result with nil error
+// means the item was dropped (by the chain or by dead-lettering); for
+// supervision purposes a whole batch envelope counts as one item — a
+// failing batch is dead-lettered (and retried) as a unit.
+func (p *Process) processItem(ctx context.Context, sup *supervisor, it Item) ([]Item, error) {
+	out, err := p.applyFrom(0, it, p.outBuf[:0])
+	p.outBuf = out
 	if err == nil {
 		return out, nil
 	}
@@ -102,7 +150,8 @@ func (p *Process) processItem(ctx context.Context, sup *supervisor, it Item) (It
 			if !sleepCtx(ctx, retry.Delay(attempt)) {
 				return nil, ctx.Err()
 			}
-			out, err = p.applyChain(0, it)
+			out, err = p.applyFrom(0, it, p.outBuf[:0])
+			p.outBuf = out
 			if err == nil {
 				sup.state(p.Name, HealthRunning, nil)
 				return out, nil
@@ -149,15 +198,18 @@ func (p *Process) flush(ctx context.Context) error {
 			return fmt.Errorf("streams: process %q flush: %w", p.Name, err)
 		}
 		for _, it := range items {
-			out, err := p.applyChain(i+1, it)
+			outs, err := p.applyFrom(i+1, it, p.outBuf[:0])
+			p.outBuf = outs
 			if err != nil {
 				return fmt.Errorf("streams: process %q flush: %w", p.Name, err)
 			}
-			if out == nil || p.Output == nil {
+			if p.Output == nil {
 				continue
 			}
-			if err := p.emit(ctx, out); err != nil {
-				return err
+			for _, out := range outs {
+				if err := p.emit(ctx, out); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -186,15 +238,17 @@ func (p *Process) run(ctx context.Context, sup *supervisor) error {
 			}
 			return p.flush(ctx)
 		}
-		out, err := p.processItem(ctx, sup, it)
+		outs, err := p.processItem(ctx, sup, it)
 		if err != nil {
 			return err
 		}
-		if out == nil || p.Output == nil {
+		if len(outs) == 0 || p.Output == nil {
 			continue
 		}
-		if err := p.emit(ctx, out); err != nil {
-			return err
+		for _, out := range outs {
+			if err := p.emit(ctx, out); err != nil {
+				return err
+			}
 		}
 	}
 }
