@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-delay bench-gp fuzz-short figures experiments clean
+.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-delay bench-gp bench-recovery fuzz-short figures experiments clean
 
 all: build vet test
 
@@ -37,23 +37,35 @@ lint:
 # CI gate: vet everything, run the repo's own analyzer suite, run the
 # full module under the race detector (engine, rule sets, streams
 # supervision/shutdown, columnar batch equivalence/chaos tests, blocked
-# linalg worker pools, parallel grid search), gate the columnar ingest
-# path against the committed allocation budget (the race detector
-# inflates allocation counts, so the gate runs in a separate non-race
-# pass), and finish with a short fuzz pass over the factorization/solve
-# targets.
+# linalg worker pools, parallel grid search — including the
+# crash-equivalence campaign: 20+ WAL kills, torn/corrupt/fsync-crashed
+# checkpoints and a torn log tail in one run, recovered output
+# bit-identical to the uninterrupted run), re-run the crash gate
+# race-free so its assertions are exercised under both schedulers, gate
+# the columnar ingest path against the committed allocation budget (the
+# race detector inflates allocation counts, so the gate runs in a
+# separate non-race pass), and finish with a short fuzz pass over the
+# factorization/solve and WAL-decode targets.
 check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run 'TestCrashEquivalence' -count=1 .
 	$(GO) test -run 'TestAllocBudget' -count=1 .
 	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 5s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 5s ./internal/linalg
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 5s ./streams/wal
 
 # The chaos harness: the Dublin pipeline under deterministic fault
 # profiles, scored against its own fault-free run.
 chaos:
 	mkdir -p results
 	$(GO) run ./cmd/chaosbench          | tee results/chaos.txt
+
+# The recovery bench: the crash-equivalence campaign as a measurement —
+# per-epoch recovery wall time and WAL replay volume across 20 kill →
+# recover → resume epochs, committed as BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/crashbench -out BENCH_recovery.json
 
 # The RTEC performance benches (Figure 4 sweep, the step-ratio
 # amortization bench, and the map-vs-columnar ingest benches — the
@@ -78,11 +90,13 @@ bench-gp:
 	$(GO) test -run '^$$' -bench 'BenchmarkGP_' -benchtime 1x \
 		-count=5 -json ./gp | tee BENCH_gp.json
 
-# ~10s of coverage-guided fuzzing per linalg target; regressions land
-# in internal/linalg/testdata/fuzz as permanent corpus seeds.
+# ~10s of coverage-guided fuzzing per target; linalg regressions land
+# in internal/linalg/testdata/fuzz, WAL frame/codec regressions in
+# streams/wal/testdata/fuzz, as permanent corpus seeds.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 10s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 10s ./internal/linalg
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./streams/wal
 
 # Regenerate every figure of the paper's evaluation into ./results.
 figures:

@@ -1,0 +1,442 @@
+package insight
+
+// Checkpointed recovery for the durable pipeline. A checkpoint is one
+// atomically-written file capturing everything the monitoring process
+// needs to resume recognition from a query boundary: the boundary
+// cursor, the per-stream consumption cursors, the WAL offset from
+// which consumption must be replayed, the engines' restorable state
+// (rtec.EngineSnapshot), the rows consumed but not yet admitted past a
+// boundary, the system's latest sensor/crowd readings, and the reports
+// that were fired but not yet acknowledged by the operator sink.
+//
+// Atomicity. The file is written to a .tmp sibling, fsynced, renamed
+// into place and the directory fsynced — a crash leaves either the
+// previous checkpoint set or the new one, never a half-visible file
+// under the final name. Contents are guarded by a CRC32C over the
+// body, so a checkpoint corrupted after the rename (torn sector, bit
+// rot, or the chaos harness's injected corruption) is detected at load
+// time and recovery falls back to the previous retained checkpoint.
+//
+// Encoding reuses the WAL codec vocabulary (wal.Append* and the
+// sticky-error wal.Decoder); the engine snapshots and unacked reports
+// ride along as length-prefixed JSON blobs — both are plain exported
+// data whose JSON round-trip is exact (Go prints float64 in shortest
+// round-trippable form).
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/streams/wal"
+)
+
+const (
+	ckptMagic  = "INSCKPT1"
+	ckptFormat = 1
+	// ckptKeep is how many recent checkpoints GC retains. Two, so a
+	// checkpoint corrupted after its rename always leaves a valid
+	// predecessor to fall back to.
+	ckptKeep = 2
+)
+
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// CheckpointCrash selects an injected failure mode for one checkpoint
+// write — the chaos harness's failpoints for the checkpoint path,
+// mirroring wal.Failpoint for the log path. Every mode ends the run
+// with wal.ErrCrashPoint (the simulated kill).
+type CheckpointCrash int
+
+const (
+	// CrashNone writes the checkpoint normally.
+	CrashNone CheckpointCrash = iota
+	// CrashTornCheckpoint dies halfway through the temp file: the torn
+	// .tmp artifact is ignored by recovery, which resumes from the
+	// previous checkpoint.
+	CrashTornCheckpoint
+	// CrashAfterCheckpoint dies right after the atomic rename: the
+	// checkpoint is durable but the epoch still ends, so recovery must
+	// resume from it with an (almost) empty replay.
+	CrashAfterCheckpoint
+	// CrashCorruptCheckpoint completes the write, then flips one bit in
+	// the renamed file before dying: the CRC check must reject it and
+	// recovery must fall back to the previous checkpoint.
+	CrashCorruptCheckpoint
+)
+
+// streamCursor is one input stream's consumption state at a
+// checkpoint: how many batch envelopes of the stream have been
+// consumed since the window origin (the resume skip count) and the
+// stream's arrival watermark.
+type streamCursor struct {
+	id        string
+	consumed  int64
+	watermark Time
+}
+
+// trafficSnap and crowdSnap persist the System's latest-reading maps
+// feeding the GP sparsity service.
+type trafficSnap struct {
+	sensor string
+	vertex int
+	flow   float64
+	t      Time
+}
+
+type crowdSnap struct {
+	inter     string
+	vertex    int
+	congested bool
+	t         Time
+}
+
+// checkpoint is the decoded in-memory form of one checkpoint file.
+type checkpoint struct {
+	nextQ     Time
+	walOffset int64
+	cursors   []streamCursor // sorted by stream id
+	// pendingBatches are the consumed-but-unadmitted rows, re-encoded
+	// as WAL batch payloads in exact pending order (consecutive rows of
+	// one retained batch form one mini-batch).
+	pendingBatches [][]byte
+	engines        []*rtec.EngineSnapshot
+	traffic        []trafficSnap // sorted by sensor
+	crowd          []crowdSnap   // sorted by intersection
+	reports        [][]byte      // JSON of fired-but-unacked reports, ascending Q
+}
+
+// encode renders the checkpoint file bytes: magic, CRC32C(body), body.
+func (c *checkpoint) encode() []byte {
+	body := []byte{ckptFormat}
+	body = wal.AppendVarint(body, int64(c.nextQ))
+	body = wal.AppendUvarint(body, uint64(c.walOffset))
+	body = wal.AppendUvarint(body, uint64(len(c.cursors)))
+	for _, cur := range c.cursors {
+		body = wal.AppendString(body, cur.id)
+		body = wal.AppendUvarint(body, uint64(cur.consumed))
+		body = wal.AppendVarint(body, int64(cur.watermark))
+	}
+	body = wal.AppendUvarint(body, uint64(len(c.pendingBatches)))
+	for _, pb := range c.pendingBatches {
+		body = wal.AppendUvarint(body, uint64(len(pb)))
+		body = append(body, pb...)
+	}
+	body = wal.AppendUvarint(body, uint64(len(c.engines)))
+	for _, es := range c.engines {
+		blob, err := json.Marshal(es)
+		if err != nil {
+			// EngineSnapshot is plain exported data; Marshal cannot fail.
+			panic(fmt.Sprintf("insight: marshal engine snapshot: %v", err))
+		}
+		body = wal.AppendUvarint(body, uint64(len(blob)))
+		body = append(body, blob...)
+	}
+	body = wal.AppendUvarint(body, uint64(len(c.traffic)))
+	for _, ts := range c.traffic {
+		body = wal.AppendString(body, ts.sensor)
+		body = wal.AppendVarint(body, int64(ts.vertex))
+		body = wal.AppendFloat(body, ts.flow)
+		body = wal.AppendVarint(body, int64(ts.t))
+	}
+	body = wal.AppendUvarint(body, uint64(len(c.crowd)))
+	for _, cs := range c.crowd {
+		body = wal.AppendString(body, cs.inter)
+		body = wal.AppendVarint(body, int64(cs.vertex))
+		body = wal.AppendBool(body, cs.congested)
+		body = wal.AppendVarint(body, int64(cs.t))
+	}
+	body = wal.AppendUvarint(body, uint64(len(c.reports)))
+	for _, rb := range c.reports {
+		body = wal.AppendUvarint(body, uint64(len(rb)))
+		body = append(body, rb...)
+	}
+
+	out := make([]byte, 0, len(ckptMagic)+4+len(body))
+	out = append(out, ckptMagic...)
+	crc := crc32.Checksum(body, ckptCRC)
+	out = append(out, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	return append(out, body...)
+}
+
+// decodeCheckpoint validates and parses checkpoint file bytes.
+func decodeCheckpoint(data []byte) (*checkpoint, error) {
+	if len(data) < len(ckptMagic)+4 {
+		return nil, fmt.Errorf("insight: checkpoint of %d bytes is shorter than its header", len(data))
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("insight: bad checkpoint magic %q", data[:len(ckptMagic)])
+	}
+	crcB := data[len(ckptMagic) : len(ckptMagic)+4]
+	want := uint32(crcB[0]) | uint32(crcB[1])<<8 | uint32(crcB[2])<<16 | uint32(crcB[3])<<24
+	body := data[len(ckptMagic)+4:]
+	if got := crc32.Checksum(body, ckptCRC); got != want {
+		return nil, fmt.Errorf("insight: checkpoint CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	d := wal.NewDecoder(body)
+	if d.Len() < 1 || body[0] != ckptFormat {
+		return nil, fmt.Errorf("insight: unknown checkpoint format")
+	}
+	d.Skip(1)
+	c := &checkpoint{}
+	c.nextQ = Time(d.Varint())
+	c.walOffset = int64(d.Uvarint())
+	nc := d.Count()
+	for i := 0; i < nc; i++ {
+		c.cursors = append(c.cursors, streamCursor{
+			id:        d.String(),
+			consumed:  int64(d.Uvarint()),
+			watermark: Time(d.Varint()),
+		})
+	}
+	np := d.Count()
+	for i := 0; i < np; i++ {
+		c.pendingBatches = append(c.pendingBatches, d.Bytes(d.Count()))
+	}
+	ne := d.Count()
+	for i := 0; i < ne; i++ {
+		blob := d.Bytes(d.Count())
+		if d.Err() != nil {
+			break
+		}
+		var es rtec.EngineSnapshot
+		if err := json.Unmarshal(blob, &es); err != nil {
+			return nil, fmt.Errorf("insight: checkpoint engine snapshot: %w", err)
+		}
+		c.engines = append(c.engines, &es)
+	}
+	nt := d.Count()
+	for i := 0; i < nt; i++ {
+		c.traffic = append(c.traffic, trafficSnap{
+			sensor: d.String(),
+			vertex: int(d.Varint()),
+			flow:   d.Float(),
+			t:      Time(d.Varint()),
+		})
+	}
+	ncr := d.Count()
+	for i := 0; i < ncr; i++ {
+		c.crowd = append(c.crowd, crowdSnap{
+			inter:     d.String(),
+			vertex:    int(d.Varint()),
+			congested: d.Bool(),
+			t:         Time(d.Varint()),
+		})
+	}
+	nr := d.Count()
+	for i := 0; i < nr; i++ {
+		c.reports = append(c.reports, d.Bytes(d.Count()))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Len() != 0 {
+		return nil, fmt.Errorf("insight: %d trailing bytes after checkpoint body", d.Len())
+	}
+	return c, nil
+}
+
+// checkpointName renders the file name of the checkpoint taken with
+// boundary cursor q. Names sort lexicographically in q order.
+func checkpointName(q Time) string {
+	return fmt.Sprintf("ckpt-%016d.ck", int64(q))
+}
+
+// parseCheckpointName extracts q from a checkpoint file name.
+func parseCheckpointName(name string) (Time, bool) {
+	var q int64
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ck") {
+		return 0, false
+	}
+	if _, err := fmt.Sscanf(name, "ckpt-%d.ck", &q); err != nil {
+		return 0, false
+	}
+	return Time(q), true
+}
+
+// writeCheckpointFile atomically persists encoded checkpoint bytes for
+// boundary cursor q under dir: temp file, fsync, rename, directory
+// fsync. A non-CrashNone mode injects the corresponding failure and
+// returns wal.ErrCrashPoint.
+func writeCheckpointFile(dir string, q Time, data []byte, crash CheckpointCrash) error {
+	path := filepath.Join(dir, checkpointName(q))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if crash == CrashTornCheckpoint {
+		if _, err := f.Write(data[:len(data)/2]); err != nil {
+			return closeDrop(f, err)
+		}
+		if err := f.Sync(); err != nil {
+			return closeDrop(f, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return fmt.Errorf("insight: killed mid-checkpoint %s (torn temp file): %w", checkpointName(q), wal.ErrCrashPoint)
+	}
+	if _, err := f.Write(data); err != nil {
+		return closeDrop(f, err)
+	}
+	if err := f.Sync(); err != nil {
+		return closeDrop(f, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	switch crash {
+	case CrashAfterCheckpoint:
+		return fmt.Errorf("insight: killed after checkpoint %s became durable: %w", checkpointName(q), wal.ErrCrashPoint)
+	case CrashCorruptCheckpoint:
+		if err := flipBit(path); err != nil {
+			return err
+		}
+		return fmt.Errorf("insight: killed after corrupting checkpoint %s: %w", checkpointName(q), wal.ErrCrashPoint)
+	}
+	return nil
+}
+
+// closeDrop closes f after a failed write, preferring the write error.
+func closeDrop(f *os.File, err error) error {
+	if cerr := f.Close(); cerr != nil && err == nil {
+		return cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return closeDrop(d, err)
+	}
+	return d.Close()
+}
+
+// flipBit corrupts one byte in the middle of the file at path — the
+// chaos harness's post-rename corruption injection.
+func flipBit(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	data[len(data)/2] ^= 0x40
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return closeDrop(f, err)
+	}
+	if err := f.Sync(); err != nil {
+		return closeDrop(f, err)
+	}
+	return f.Close()
+}
+
+// listCheckpoints returns the checkpoint files under dir, newest (by
+// boundary cursor) first.
+func listCheckpoints(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		if _, ok := parseCheckpointName(ent.Name()); ok {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names, nil
+}
+
+// loadLatestCheckpoint scans dir newest-first and returns the first
+// checkpoint that decodes cleanly, counting the corrupt ones it had to
+// skip. A nil checkpoint with nil error means a fresh start.
+func loadLatestCheckpoint(dir string) (ck *checkpoint, q Time, corrupt int, err error) {
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, err
+	}
+	for _, name := range names {
+		data, rerr := os.ReadFile(filepath.Join(dir, name))
+		if rerr != nil {
+			return nil, 0, corrupt, rerr
+		}
+		c, derr := decodeCheckpoint(data)
+		if derr != nil {
+			corrupt++
+			continue
+		}
+		q, _ := parseCheckpointName(name)
+		return c, q, corrupt, nil
+	}
+	return nil, 0, corrupt, nil
+}
+
+// gcCheckpoints removes all but the ckptKeep newest checkpoints (and
+// any leftover temp files), then returns the WAL offset of the oldest
+// retained checkpoint — the front-truncation point for the log. A
+// negative return means no safe truncation point is known (e.g. the
+// oldest retained file is corrupt).
+func gcCheckpoints(dir string) (int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return -1, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".ck.tmp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return -1, err
+			}
+			continue
+		}
+		if _, ok := parseCheckpointName(name); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names[min(len(names), ckptKeep):] {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return -1, err
+		}
+	}
+	if len(names) == 0 {
+		return -1, nil
+	}
+	oldest := names[min(len(names), ckptKeep)-1]
+	data, err := os.ReadFile(filepath.Join(dir, oldest))
+	if err != nil {
+		return -1, err
+	}
+	c, err := decodeCheckpoint(data)
+	if err != nil {
+		return -1, nil // corrupt retained checkpoint: no safe truncation
+	}
+	return c.walOffset, nil
+}

@@ -75,6 +75,7 @@ var All = []*Analyzer{
 	FloatEq,
 	LockCopy,
 	ItemAlias,
+	ErrDrop,
 }
 
 // Select resolves -only/-skip comma-separated rule lists against All.

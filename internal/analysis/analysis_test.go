@@ -76,6 +76,7 @@ var goldenCases = []struct {
 	{FloatEq, "floateq", "fixture/floateq"},
 	{LockCopy, "lockcopy", "fixture/lockcopy"},
 	{ItemAlias, "itemalias", "fixture/itemalias"},
+	{ErrDrop, "errdrop", "fixture/streams/wal"},
 }
 
 func TestAnalyzerGolden(t *testing.T) {

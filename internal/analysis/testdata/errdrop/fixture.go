@@ -1,0 +1,40 @@
+// Package wal exercises the errdrop analyzer. The fixture is loaded
+// under the import path fixture/streams/wal, so the whole file is in
+// the durability scope and every discarded error from a critical call
+// must be reported.
+package wal
+
+import "os"
+
+// silentCloser has a Close with no error result; same-named calls on
+// it must not be flagged.
+type silentCloser struct{}
+
+func (silentCloser) Close() {}
+
+func dropped(f *os.File, p []byte) {
+	f.Sync()        // want: discarded
+	defer f.Close() // want: discarded by defer
+	go f.Sync()     // want: discarded by go statement
+
+	n, _ := f.Write(p) // want: error assigned to _
+	_ = n
+	_ = os.Remove(f.Name()) // want: error assigned to _
+}
+
+func checked(f *os.File, p []byte) error {
+	if err := f.Sync(); err != nil { // fine: error checked
+		return err
+	}
+	n, err := f.Write(p) // fine: error bound to a name
+	_ = n
+	if err != nil {
+		return err
+	}
+	var sc silentCloser
+	sc.Close() // fine: no error result to drop
+	_, _ = f.Seek(0, 0)
+	// fine: Seek is not a durability-critical callee
+	os.Remove(f.Name()) //lint:allow errdrop cleanup of a file already renamed away
+	return f.Close()    // fine: error returned to the caller
+}

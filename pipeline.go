@@ -2,6 +2,7 @@ package insight
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -40,7 +41,14 @@ type Pipeline struct {
 	// pipeline with InputErrProb > 0, keyed by stream id.
 	ChaosProcs map[string]*streams.ChaosProcessor
 	system     *System
+	// durable is the checkpoint coordinator of a durable pipeline
+	// (nil for BuildPipeline/BuildChaosPipeline).
+	durable *durableRuntime
 }
+
+// pipelineStreamIDs are the paper's five input streams: one for all
+// buses, one per SCATS region of Dublin city.
+var pipelineStreamIDs = []string{"bus", "scats-central", "scats-north", "scats-west", "scats-south"}
 
 // Item attribute keys used by the pipeline.
 const (
@@ -67,6 +75,11 @@ type ChaosConfig struct {
 	// Seed drives the injected-error sampling; each stream's FaultSpec
 	// carries its own seed.
 	Seed int64
+	// InputSupervision overrides the supervision policy of the
+	// per-stream input processes when InputErrProb > 0. Nil means
+	// SkipItem (faulty SDEs are dead-lettered). Note the zero Strategy
+	// is FailFast, so a non-nil policy must be fully specified.
+	InputSupervision *streams.SupervisionPolicy
 }
 
 // BuildPipeline constructs the Figure 1 data-flow graph over the
@@ -74,7 +87,7 @@ type ChaosConfig struct {
 // Pipeline.Topology.Run; afterwards Pipeline.Reports holds one item
 // per query time.
 func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
-	return s.buildPipeline(from, until, ChaosConfig{})
+	return s.buildPipeline(from, until, ChaosConfig{}, nil)
 }
 
 // BuildChaosPipeline is BuildPipeline with deterministic fault
@@ -82,10 +95,10 @@ func (s *System) BuildPipeline(from, until Time) (*Pipeline, error) {
 // Pipeline.Chaos exposes the per-stream injectors for fault
 // accounting.
 func (s *System) BuildChaosPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, error) {
-	return s.buildPipeline(from, until, chaos)
+	return s.buildPipeline(from, until, chaos, nil)
 }
 
-func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, error) {
+func (s *System) buildPipeline(from, until Time, chaos ChaosConfig, dur *durableRuntime) (*Pipeline, error) {
 	// Split into the paper's five input streams, each arrival-ordered
 	// (the global collection is arrival-sorted, so per-stream order is
 	// kept). With ColumnarTransport the generator emits typed batches
@@ -93,7 +106,7 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 	// batch spans are capped at Step/2 (the pacer slack) so at most one
 	// query boundary can land inside a batch and watermark punctuation
 	// keeps its per-item granularity.
-	streamIDs := []string{"bus", "scats-central", "scats-north", "scats-west", "scats-south"}
+	streamIDs := pipelineStreamIDs
 	perStream := make(map[string][]streams.Item, len(streamIDs))
 	if s.cfg.ColumnarTransport {
 		for _, bs := range s.city.CollectBatches(from, until, 512, s.cfg.Step/2) {
@@ -146,13 +159,35 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 		return it.Int(itemArrival), true
 	}
 	for _, id := range streamIDs {
-		items := append(perStream[id], streams.Item{itemSource: id, itemEOF: true})
+		items := perStream[id]
+		if dur != nil {
+			// Recovery: the cursors already account for these envelopes —
+			// the WAL replay re-consumed the ones past the checkpoint — so
+			// the source must not re-ingest them. The collection is
+			// deterministic, so skipping a count is skipping those exact
+			// envelopes.
+			skip := int(dur.consumed[id])
+			if skip > len(items) {
+				return nil, fmt.Errorf("insight: recovery cursor for %q consumed %d envelopes but the collection replays only %d", id, skip, len(items))
+			}
+			for _, it := range items[:skip] {
+				if b, isBatch := streams.ItemBatch(it); isBatch {
+					b.Release()
+				}
+			}
+			dur.skipped += skip
+			items = items[skip:]
+		}
+		items = append(items, streams.Item{itemSource: id, itemEOF: true})
 		var src streams.Source = streams.NewSliceSource(items...)
 		if !s.cfg.UnpacedReplay {
 			src = streams.NewPacedSource(src, pacer, id, int64(from), arrivalOf)
 		}
 		if spec, faulty := chaos.Streams[id]; faulty {
-			cs := streams.NewChaosSource(src, spec)
+			// Child seed per stream: the fault sequence each stream
+			// experiences is a function of (spec seed, stream id) alone,
+			// independent of how the scheduler interleaves the streams.
+			cs := streams.NewChaosSource(src, spec.ForStream(id))
 			chaosSources[id] = cs
 			src = cs
 		}
@@ -170,8 +205,29 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 		return nil, err
 	}
 	sink := streams.NewCollectorSink()
-	if err := top.AddSink("operator", sink); err != nil {
+	var opSink streams.Sink = sink
+	if dur != nil {
+		// Reports acknowledge on arrival at the operator: the checkpoint
+		// coordinator stops carrying them for re-emission.
+		opSink = &ackingSink{inner: sink, st: dur.st}
+	}
+	if err := top.AddSink("operator", opSink); err != nil {
 		return nil, err
+	}
+
+	// Durable runs interpose the write-ahead log between the validators
+	// and the SDE queue: one single-writer append process, so the log's
+	// record order is exactly the monitoring process's consumption
+	// order, and a consumed envelope is always durable.
+	inputOut := sdeQueue
+	if dur != nil {
+		inputOut = "ingest"
+		if _, err := top.AddQueue(inputOut, 4096); err != nil {
+			return nil, err
+		}
+		if err := top.AddProcess("wal-append", inputOut, sdeQueue, &walAppender{log: dur.log, st: dur.st}); err != nil {
+			return nil, err
+		}
 	}
 
 	// Input handling processes: one per stream, validating and
@@ -180,25 +236,30 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 	// whole instead of being expanded into per-row items.
 	validate := sdeValidator{}
 	chaosProcs := make(map[string]*streams.ChaosProcessor)
-	for i, id := range streamIDs {
+	for _, id := range streamIDs {
 		proc := streams.Processor(validate)
 		if chaos.InputErrProb > 0 {
 			cp := streams.NewChaosProcessor(validate, streams.FaultSpec{
-				Seed:    chaos.Seed + int64(i)*31,
+				Seed:    chaos.Seed,
 				ErrProb: chaos.InputErrProb,
-			})
+			}.ForStream(id))
 			chaosProcs[id] = cp
 			proc = cp
 		}
-		if err := top.AddProcess("input-"+id, id, sdeQueue, proc); err != nil {
+		if err := top.AddProcess("input-"+id, id, inputOut, proc); err != nil {
 			return nil, err
 		}
 		if chaos.InputErrProb > 0 {
-			// Injected input faults cost the affected SDE, never the
-			// topology.
-			if err := top.Supervise("input-"+id, streams.SupervisionPolicy{
-				Strategy: streams.SkipItem,
-			}); err != nil {
+			// Injected input faults are contained by supervision: with
+			// the default SkipItem they cost the affected SDE, never the
+			// topology; a caller-supplied policy (e.g. Restart, under
+			// which ChaosProcessor's per-attempt redraw makes the fault
+			// transient) overrides it.
+			policy := streams.SupervisionPolicy{Strategy: streams.SkipItem}
+			if chaos.InputSupervision != nil {
+				policy = *chaos.InputSupervision
+			}
+			if err := top.Supervise("input-"+id, policy); err != nil {
 				return nil, err
 			}
 		}
@@ -212,21 +273,12 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 	// each report and feeds the verdicts back into the engines before
 	// the next boundary is evaluated, exactly like the synchronous
 	// loop (and like the paper's feedback edge in Figure 1).
-	rtecProc := &rtecProcessor{
-		system:     s,
-		step:       s.cfg.Step,
-		nextQ:      from + s.cfg.Step,
-		until:      until,
-		staleness:  s.cfg.WatermarkStaleness,
-		watermarks: make(map[string]Time, len(streamIDs)),
-		degraded:   make(map[string]bool),
-	}
-	// Every stream starts at the window origin: a stream that never
-	// reports holds the watermark at `from` (and, with a staleness
-	// bound, is eventually declared degraded) instead of being
-	// invisible to the minimum.
-	for _, id := range streamIDs {
-		rtecProc.watermarks[id] = from
+	rtecProc := newRTECProcessor(s, from, until)
+	if dur != nil {
+		// The durable processor already exists: recovery restored its
+		// engines, cursors and pending rows and replayed the log tail
+		// through it before the topology was wired.
+		rtecProc = dur.proc
 	}
 	crowdProc := streams.ProcessorFunc(func(it streams.Item) (streams.Item, error) {
 		rep, ok := it[itemReport].(*Report)
@@ -259,7 +311,28 @@ func (s *System) buildPipeline(from, until Time, chaos ChaosConfig) (*Pipeline, 
 		return nil, err
 	}
 
-	return &Pipeline{Topology: top, Reports: sink, Chaos: chaosSources, ChaosProcs: chaosProcs, system: s}, nil
+	return &Pipeline{Topology: top, Reports: sink, Chaos: chaosSources, ChaosProcs: chaosProcs, system: s, durable: dur}, nil
+}
+
+// newRTECProcessor constructs the monitoring processor over the window
+// [from, until). Every stream's watermark starts at the window origin:
+// a stream that never reports holds the watermark at `from` (and, with
+// a staleness bound, is eventually declared degraded) instead of being
+// invisible to the minimum.
+func newRTECProcessor(s *System, from, until Time) *rtecProcessor {
+	p := &rtecProcessor{
+		system:     s,
+		step:       s.cfg.Step,
+		nextQ:      from + s.cfg.Step,
+		until:      until,
+		staleness:  s.cfg.WatermarkStaleness,
+		watermarks: make(map[string]Time, len(pipelineStreamIDs)),
+		degraded:   make(map[string]bool),
+	}
+	for _, id := range pipelineStreamIDs {
+		p.watermarks[id] = from
+	}
+	return p
 }
 
 // TrafficModelService is the service type under which the traffic
@@ -338,6 +411,12 @@ type rtecProcessor struct {
 	// one per subsequent item; whatever is still due when the input
 	// ends is released by Flush.
 	due []streams.Item
+	// durable, when non-nil, is the checkpoint coordinator of a durable
+	// pipeline: consumption and boundary events are recorded as they
+	// happen, and checkpoints are written at the processor's safe
+	// points (never mid-batch, where rows past the firing one are in
+	// neither the engines nor pendingRows yet).
+	durable *durableRuntime
 }
 
 type pendingSDE struct {
@@ -378,6 +457,11 @@ func (p *rtecProcessor) Process(it streams.Item) (streams.Item, error) {
 	if err := p.fireDue(context.Background()); err != nil {
 		return nil, err
 	}
+	if p.durable != nil {
+		if err := p.durable.maybeCheckpoint(p); err != nil {
+			return nil, err
+		}
+	}
 	if len(p.due) == 0 {
 		return nil, nil
 	}
@@ -394,6 +478,11 @@ func (p *rtecProcessor) Process(it streams.Item) (streams.Item, error) {
 // output, is bit-identical to per-item transport. The batch is
 // retained until boundary admission has drained it.
 func (p *rtecProcessor) ProcessBatch(b *streams.Batch) ([]streams.Item, error) {
+	if p.durable != nil {
+		// The envelope is consumed whatever recognition does with it;
+		// the cursor must say so before any boundary can fire.
+		p.durable.noteConsumed(b.Source)
+	}
 	n := b.Len()
 	if n == 0 {
 		b.Release()
@@ -422,6 +511,15 @@ func (p *rtecProcessor) ProcessBatch(b *streams.Batch) ([]streams.Item, error) {
 	}
 	out := p.due
 	p.due = nil
+	if p.durable != nil {
+		// Safe point: every row of every consumed record is now in the
+		// engines or in pendingRows. The reports in out are re-derivable
+		// if this errors — the epoch dies with them unemitted, and
+		// replay from the previous checkpoint re-fires their boundaries.
+		if err := p.durable.maybeCheckpoint(p); err != nil {
+			return out, err
+		}
+	}
 	return out, nil
 }
 
@@ -590,6 +688,9 @@ func (p *rtecProcessor) fireDue(ctx context.Context) error {
 		rep.DegradedStreams = append([]string(nil), degradedIDs...)
 		rep.WatermarkLag = maxW - q
 		p.due = append(p.due, streams.Item{itemReport: rep})
+		if p.durable != nil {
+			p.durable.noteBoundary(rep)
+		}
 	}
 	return nil
 }
@@ -604,6 +705,13 @@ func (p *rtecProcessor) Flush() ([]streams.Item, error) {
 	}
 	if err := p.fireDue(context.Background()); err != nil {
 		return nil, err
+	}
+	if p.durable != nil {
+		// Checkpoint before the leftover rows are released: encoding
+		// them needs their blocks still live.
+		if err := p.durable.maybeCheckpoint(p); err != nil {
+			return nil, err
+		}
 	}
 	// Rows arriving after the final boundary are never admitted (the
 	// per-item path leaves their events in pending the same way);
@@ -623,7 +731,11 @@ func (p *rtecProcessor) Flush() ([]streams.Item, error) {
 // Run executes the pipeline and returns the reports in query-time
 // order.
 func (p *Pipeline) Run(ctx context.Context) ([]*Report, error) {
-	if err := p.Topology.Run(ctx); err != nil {
+	err := p.Topology.Run(ctx)
+	if p.durable != nil {
+		err = errors.Join(err, p.durable.log.Close())
+	}
+	if err != nil {
 		return nil, err
 	}
 	items := p.Reports.Items()

@@ -79,6 +79,36 @@ type Report struct {
 	Result *rtec.Result `json:"-"`
 }
 
+// Fingerprint renders the report's recognized content as a canonical
+// string: the CE sets, alerts, crowd verdicts and fed-event count, but
+// none of the run-shaped diagnostics (Stats, WatermarkLag,
+// DegradedStreams) and not the raw Result. Two reports for the same
+// query time fingerprint equal exactly when recognition produced the
+// same output — the equality the crash-equivalence gate checks between
+// a crashed-and-recovered run and an uninterrupted one, across which
+// engine statistics legitimately differ (a restored engine has not
+// re-done the pre-checkpoint work).
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "q=%d win=[%d,%d) fed=%d", int64(r.Q), int64(r.Window.Start), int64(r.Window.End), r.FedEvents)
+	join := func(label string, vals []string) {
+		fmt.Fprintf(&b, " %s=%s", label, strings.Join(vals, ","))
+	}
+	join("congested", r.CongestedIntersections)
+	join("busAreas", r.BusCongestionAreas)
+	join("disagree", r.Disagreements)
+	join("warnings", r.CongestionWarnings)
+	join("unusual", r.UnusualCongestion)
+	join("noisy", r.NoisyBuses)
+	for _, a := range r.Alerts {
+		fmt.Fprintf(&b, " alert=%d/%s/%s/%q", int64(a.Time), a.Kind, a.Key, a.Text)
+	}
+	for _, cr := range r.CrowdRounds {
+		fmt.Fprintf(&b, " crowd=%s/%d/%d/%s", cr.Intersection, int64(cr.QueryTime), cr.Queried, cr.Verdict.Best)
+	}
+	return b.String()
+}
+
 // Summary renders a one-line digest.
 func (r *Report) Summary() string {
 	return fmt.Sprintf("Q=%d: %d SDEs, %d congested intersections, %d bus-congestion areas, %d disagreements, %d noisy buses, %d crowd rounds, %d alerts",

@@ -1,0 +1,311 @@
+package rtec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// snapDefs compiles a definition set exercising every rule kind: a
+// simple fluent with inertia, an event rule feeding the Fresh dedup
+// set, and a static fluent over the simple one.
+func snapDefs(t *testing.T) *Definitions {
+	t.Helper()
+	defs, err := NewBuilder().
+		DeclareSDE("tick", "on", "off").
+		Simple(SimpleFluent{
+			Name:   "power",
+			Inputs: []string{"on", "off"},
+			Transitions: func(ctx *Context) []Transition {
+				var out []Transition
+				for _, e := range ctx.Events("on") {
+					out = append(out, InitiateAt(e.Key, e.Time))
+				}
+				for _, e := range ctx.Events("off") {
+					out = append(out, TerminateAt(e.Key, e.Time))
+				}
+				return out
+			},
+		}).
+		Event(EventRule{
+			Name:   "surge",
+			Inputs: []string{"tick"},
+			Derive: func(ctx *Context) []Event {
+				var out []Event
+				for _, key := range ctx.EventKeys("tick") {
+					evs := ctx.EventsForKey("tick", key)
+					for i := 1; i < len(evs); i++ {
+						pv, _ := evs[i-1].Float("v")
+						cv, _ := evs[i].Float("v")
+						if evs[i].Time-evs[i-1].Time < 10 && cv > pv {
+							out = append(out, NewEvent("surge", evs[i].Time, key, nil))
+						}
+					}
+				}
+				return out
+			},
+		}).
+		Static(StaticFluent{
+			Name:   "lit",
+			Inputs: []string{"power"},
+			HoldsFor: func(ctx *Context) map[KV]List {
+				out := make(map[KV]List)
+				for kv, l := range ctx.FluentInstances("power") {
+					out[kv] = l
+				}
+				return out
+			},
+		}).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return defs
+}
+
+// snapFeed delivers a deterministic mixed map/columnar event load for
+// the window ending at query time q.
+func snapFeed(t *testing.T, e *Engine, q Time) {
+	t.Helper()
+	base := q - 50
+	if err := e.Input(
+		NewEvent("on", base+5, "dev-1", map[string]any{"watts": 40, "room": "a"}),
+		NewEvent("off", base+30, "dev-1", nil),
+		NewEvent("on", base+35, "dev-2", map[string]any{"watts": int64(25), "dim": true}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	blk := &Block{
+		Type:  "tick",
+		Times: []int64{int64(base + 10), int64(base + 12), int64(base + 20), int64(base + 24)},
+		Keys:  []string{"m-1", "m-1", "m-2", "m-2"},
+		Cols: []BCol{
+			{Name: "v", Kind: ColFloat, F: []float64{1, 2, 5, 3}},
+			{Name: "src", Kind: ColStr, SIdx: []uint32{0, 0, 1, 1}, Dict: []string{"scats", "bus"}},
+			{Name: "ok", Kind: ColBool, B: []bool{true, false, true, true}},
+			{Name: "n", Kind: ColInt, I: []int64{7, 8, 9, 10}},
+		},
+	}
+	if err := e.InputBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func resultsEqual(t *testing.T, tag string, a, b *Result) {
+	t.Helper()
+	if a.Q != b.Q || a.Window != b.Window {
+		t.Fatalf("%s: Q/window mismatch: %d %v vs %d %v", tag, a.Q, a.Window, b.Q, b.Window)
+	}
+	if !reflect.DeepEqual(a.Fluents, b.Fluents) {
+		t.Fatalf("%s: fluents differ:\n%v\nvs\n%v", tag, a.Fluents, b.Fluents)
+	}
+	if len(a.Derived) != len(b.Derived) {
+		t.Fatalf("%s: derived type counts differ", tag)
+	}
+	for typ, evs := range a.Derived {
+		if !eventsEqual(evs, b.Derived[typ]) {
+			t.Fatalf("%s: derived %q differ:\n%v\nvs\n%v", tag, typ, evs, b.Derived[typ])
+		}
+	}
+	if !eventsEqual(a.Fresh, b.Fresh) {
+		t.Fatalf("%s: fresh differ:\n%v\nvs\n%v", tag, a.Fresh, b.Fresh)
+	}
+	if a.Stats.InputEvents != b.Stats.InputEvents ||
+		a.Stats.DerivedEvents != b.Stats.DerivedEvents ||
+		a.Stats.FluentPeriods != b.Stats.FluentPeriods {
+		t.Fatalf("%s: stats differ: %+v vs %+v", tag, a.Stats, b.Stats)
+	}
+}
+
+// eventsEqual compares events by identity (type, time, key) — derived
+// events carry no attributes in these rules.
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Time != b[i].Time || a[i].Key != b[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreEquivalence pins the recovery contract: after
+// restoring a mid-run snapshot into a fresh engine, every subsequent
+// query is identical to the uninterrupted engine's.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	defs := snapDefs(t)
+	opts := Options{WorkingMemory: 120, Step: 50}
+	orig, err := NewEngine(defs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := Time(50); q <= 150; q += 50 {
+		snapFeed(t, orig, q)
+		if _, err := orig.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewEngine(defs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restored engine's snapshot reproduces the original snapshot
+	// byte for byte (map-backed vs view events included).
+	snap2, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, snap2) {
+		t.Fatalf("snapshot of restored engine differs:\n%+v\nvs\n%+v", snap, snap2)
+	}
+
+	for q := Time(200); q <= 350; q += 50 {
+		snapFeed(t, orig, q)
+		snapFeed(t, restored, q)
+		// Late arrivals exercise the dirty-watermark path on both.
+		late := NewEvent("tick", q-70, "m-1", map[string]any{"v": 9.0})
+		if err := orig.Input(late); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Input(late); err != nil {
+			t.Fatal(err)
+		}
+		ra, err := orig.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := restored.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("q=%d", q), ra, rb)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	e, err := NewEngine(snapDefs(t), Options{WorkingMemory: 100, Step: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapFeed(t, e, 50)
+	if _, err := e.Query(50); err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated snapshots differ")
+	}
+	// Deterministic ordering, not just equality: types and fluents
+	// sorted by name.
+	for i := 1; i < len(a.Types); i++ {
+		if a.Types[i-1].Type >= a.Types[i].Type {
+			t.Fatalf("types not sorted: %q before %q", a.Types[i-1].Type, a.Types[i].Type)
+		}
+	}
+	for i := 1; i < len(a.Prev); i++ {
+		if a.Prev[i-1].Name >= a.Prev[i].Name {
+			t.Fatalf("fluents not sorted: %q before %q", a.Prev[i-1].Name, a.Prev[i].Name)
+		}
+	}
+}
+
+func TestPartitionedSnapshotRestore(t *testing.T) {
+	defs := snapDefs(t)
+	opts := Options{WorkingMemory: 100, Step: 50}
+	assign := func(ev Event) int {
+		if len(ev.Key) > 0 && ev.Key[len(ev.Key)-1]%2 == 0 {
+			return 0
+		}
+		return 1
+	}
+	orig, err := NewPartitioned(defs, opts, 2, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		ev := NewEvent("on", Time(5+i*7), fmt.Sprintf("dev-%d", i), nil)
+		if err := orig.Input(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := orig.Query(50); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(snaps))
+	}
+	restored, err := NewPartitioned(defs, opts, 2, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snaps); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := orig.Query(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := restored.Query(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "partitioned", MergeResults(ra), MergeResults(rb))
+	if err := restored.Restore(snaps[:1]); err == nil {
+		t.Fatalf("partition count mismatch accepted")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	e, err := NewEngine(snapDefs(t), Options{WorkingMemory: 100, Step: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(&EngineSnapshot{
+		Types: []TypeSnapshot{{Type: "ghost"}},
+	}); err == nil {
+		t.Fatalf("undeclared SDE type accepted")
+	}
+	if err := e.Restore(&EngineSnapshot{
+		Types: []TypeSnapshot{{Type: "tick", Events: []EventSnapshot{
+			{Time: 20, Key: "a"}, {Time: 10, Key: "a"},
+		}}},
+	}); err == nil {
+		t.Fatalf("unsorted snapshot events accepted")
+	}
+	if err := e.Restore(&EngineSnapshot{
+		Prev: []FluentSnapshot{{Name: "power", Instances: []InstanceSnapshot{
+			{Key: "a", Value: "true", Spans: List{sp(30, 20)}},
+		}}},
+	}); err == nil {
+		t.Fatalf("invalid interval list accepted")
+	}
+	// Unsupported attribute types are a snapshot-time error.
+	if err := e.Input(NewEvent("tick", 5, "a", map[string]any{"bad": []int{1}})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatalf("unsupported attribute type accepted")
+	}
+}

@@ -51,6 +51,31 @@ type FaultSpec struct {
 	ErrProb float64
 }
 
+// ForStream derives the per-stream child spec: the same fault
+// probabilities with a seed mixed from the parent seed and the stream
+// id. Stacked chaos wrappers (a ChaosSource under a PacedSource, a
+// ChaosProcessor downstream) each consume their own stream's generator,
+// so the drop/dup/delay sequence a stream experiences depends only on
+// (parent seed, stream id, its own read order) — never on how the
+// scheduler interleaves the other streams' reads against it.
+func (s FaultSpec) ForStream(id string) FaultSpec {
+	// FNV-1a over the id, xor-folded with the parent seed, finished
+	// with the splitmix64 mixer so near-identical ids ("scats-north",
+	// "scats-south") land in unrelated generator states.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(s.Seed)
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	s.Seed = int64(h)
+	return s
+}
+
 // ChaosStats counts the faults a wrapper has injected so far.
 type ChaosStats struct {
 	Emitted    int // items delivered downstream

@@ -168,6 +168,10 @@ type ProcessHealth struct {
 	Restarts int
 	// Skipped counts items routed to the dead-letter queue.
 	Skipped int
+	// DeadLettersDropped counts this process's dead letters that were
+	// evicted from the bounded retention buffer to make room for newer
+	// ones (the letters were still counted in Skipped).
+	DeadLettersDropped int
 	// LastError is the most recent processor error ("" if none).
 	LastError string
 }
@@ -184,16 +188,22 @@ type DeadLetter struct {
 	Attempts int
 }
 
-// maxDeadLetters bounds the retained dead letters per run; beyond the
-// cap items are still counted in ProcessHealth.Skipped but no longer
-// retained.
+// maxDeadLetters bounds the retained dead letters per run. The buffer
+// is a ring: under sustained failure the newest maxDeadLetters items
+// are kept, the oldest are evicted, and every eviction is charged to
+// the evicting process's ProcessHealth.DeadLettersDropped — so memory
+// stays bounded while Health() still shows that (and where) evidence
+// was lost.
 const maxDeadLetters = 1024
 
 // supervisor tracks health and dead letters for one Topology.Run.
 type supervisor struct {
 	mu     sync.Mutex
 	health map[string]*ProcessHealth
-	dead   []DeadLetter
+	// dead is a ring buffer of the most recent dead letters: once full,
+	// deadStart marks the oldest entry, which the next letter evicts.
+	dead      []DeadLetter
+	deadStart int
 }
 
 func newSupervisor(processes []*Process) *supervisor {
@@ -241,12 +251,22 @@ func (s *supervisor) deadLetter(name string, it Item, err error, attempts int) {
 	}
 	h.Skipped++
 	h.LastError = err.Error()
+	// Snapshot the item: the dead letter must stay readable as-is
+	// even if an upstream stage (a chaos duplicator, a retrying
+	// processor) keeps mutating the original map.
+	dl := DeadLetter{Process: name, Item: it.Clone(), Err: err, Attempts: attempts}
 	if len(s.dead) < maxDeadLetters {
-		// Snapshot the item: the dead letter must stay readable as-is
-		// even if an upstream stage (a chaos duplicator, a retrying
-		// processor) keeps mutating the original map.
-		s.dead = append(s.dead, DeadLetter{Process: name, Item: it.Clone(), Err: err, Attempts: attempts})
+		s.dead = append(s.dead, dl)
+		return
 	}
+	evicted := &s.dead[s.deadStart]
+	if eh := s.health[evicted.Process]; eh != nil {
+		eh.DeadLettersDropped++
+	} else {
+		s.health[evicted.Process] = &ProcessHealth{DeadLettersDropped: 1}
+	}
+	s.dead[s.deadStart] = dl
+	s.deadStart = (s.deadStart + 1) % maxDeadLetters
 }
 
 func (s *supervisor) snapshot() map[string]ProcessHealth {
@@ -262,7 +282,8 @@ func (s *supervisor) snapshot() map[string]ProcessHealth {
 func (s *supervisor) deadLetters() []DeadLetter {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]DeadLetter, len(s.dead))
-	copy(out, s.dead)
+	out := make([]DeadLetter, 0, len(s.dead))
+	out = append(out, s.dead[s.deadStart:]...)
+	out = append(out, s.dead[:s.deadStart]...)
 	return out
 }

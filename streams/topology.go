@@ -496,9 +496,6 @@ func (t *Topology) Run(ctx context.Context) error {
 		go func(p *Process) {
 			defer wg.Done()
 			err := p.run(ctx, sup)
-			if q, isQueue := p.Output.(*Queue); isQueue {
-				writers[q].Done()
-			}
 			var iso isolatedError
 			switch {
 			case err == nil:
@@ -512,6 +509,15 @@ func (t *Topology) Run(ctx context.Context) error {
 				sup.state(p.Name, HealthFailed, err)
 				errs <- err
 				cancel() // unwind the rest of the graph
+			}
+			// Release the writer count only after a fatal error has
+			// cancelled the context: a closed queue means end-of-stream
+			// to its readers (they Flush on it), and a crashed producer
+			// must never impersonate one. Readers waking on the close
+			// observe the close's happens-before edge, so the ctx.Err()
+			// check in run sees the cancellation and skips the flush.
+			if q, isQueue := p.Output.(*Queue); isQueue {
+				writers[q].Done()
 			}
 		}(p)
 	}
