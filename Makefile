@@ -42,18 +42,21 @@ lint:
 # checkpoints and a torn log tail in one run, recovered output
 # bit-identical to the uninterrupted run), re-run the crash gate
 # race-free so its assertions are exercised under both schedulers, gate
-# the columnar ingest path against the committed allocation budget (the
-# race detector inflates allocation counts, so the gate runs in a
-# separate non-race pass), and finish with a short fuzz pass over the
-# factorization/solve and WAL-decode targets.
+# the columnar ingest path against the committed allocation budget and
+# the column-resident store against the committed resident bytes/event
+# advantage over the row store (the race detector inflates allocation
+# counts, so those gates run in a separate non-race pass), and finish
+# with a short fuzz pass over the factorization/solve, WAL-decode and
+# store block-merge targets.
 check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'TestCrashEquivalence' -count=1 .
-	$(GO) test -run 'TestAllocBudget' -count=1 .
+	$(GO) test -run 'TestAllocBudget|TestResidentBudget' -count=1 .
 	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 5s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 5s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 5s ./streams/wal
+	$(GO) test -run '^$$' -fuzz FuzzMergeBlock -fuzztime 5s ./rtec
 
 # The chaos harness: the Dublin pipeline under deterministic fault
 # profiles, scored against its own fault-free run.
@@ -97,6 +100,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 10s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 10s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./streams/wal
+	$(GO) test -run '^$$' -fuzz FuzzMergeBlock -fuzztime 10s ./rtec
 
 # Regenerate every figure of the paper's evaluation into ./results.
 figures:

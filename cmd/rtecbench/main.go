@@ -46,6 +46,10 @@ import (
 	"github.com/insight-dublin/insight/traffic"
 )
 
+// storeKind is the working-memory representation every benchmark mode
+// builds its engines with (-store flag).
+var storeKind rtec.StoreKind
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtecbench: ")
@@ -59,8 +63,18 @@ func main() {
 		stepMin = flag.Int("step", 0, "query step in minutes; 0 = one window per measurement, >0 = sliding-window regime")
 		full    = flag.Bool("full", false, "disable incremental overlap caching (full recompute baseline)")
 		batch   = flag.Bool("batch", false, "compare map-decode vs columnar-block ingest (uses the first -wm entry)")
+		store   = flag.String("store", "row", "RTEC working-memory store: row (per-event records) or column (resident column blocks)")
 	)
 	flag.Parse()
+
+	switch *store {
+	case "row":
+		storeKind = rtec.StoreRow
+	case "column":
+		storeKind = rtec.StoreColumn
+	default:
+		log.Fatalf("invalid -store %q (want row or column)", *store)
+	}
 
 	var wms []int
 	for _, part := range strings.Split(*wmList, ",") {
@@ -150,7 +164,7 @@ func main() {
 			log.Fatal(err)
 		}
 		part, err := rtec.NewPartitioned(defs,
-			rtec.Options{WorkingMemory: wm, Step: wm, Profile: true},
+			rtec.Options{WorkingMemory: wm, Step: wm, Profile: true, Store: storeKind},
 			4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
 		if err != nil {
 			log.Fatal(err)
@@ -210,8 +224,10 @@ func runBatch(city *dublin.City, reg *traffic.Registry, wm rtec.Time, buses, sen
 		}
 	}
 	newPart := func() *rtec.Partitioned {
+		// Profile turns on the resident-store accounting; it only adds
+		// work inside Query, which the feed timer never covers.
 		part, err := rtec.NewPartitioned(defs,
-			rtec.Options{WorkingMemory: wm, Step: wm},
+			rtec.Options{WorkingMemory: wm, Step: wm, Profile: true, Store: storeKind},
 			4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
 		if err != nil {
 			log.Fatal(err)
@@ -244,6 +260,7 @@ func runBatch(city *dublin.City, reg *traffic.Registry, wm rtec.Time, buses, sen
 	type outcome struct {
 		best       time.Duration
 		allocsPerE float64
+		resident   uint64
 		fp         string
 	}
 	measureFeed := func(feed func(*rtec.Partitioned)) outcome {
@@ -265,7 +282,9 @@ func runBatch(city *dublin.City, reg *traffic.Registry, wm rtec.Time, buses, sen
 			if err != nil {
 				log.Fatal(err)
 			}
-			fp := derivedFingerprint(rtec.MergeResults(res))
+			merged := rtec.MergeResults(res)
+			out.resident = merged.Stats.ResidentBytes
+			fp := derivedFingerprint(merged)
 			if out.fp == "" {
 				out.fp = fp
 			} else if fp != out.fp {
@@ -285,11 +304,12 @@ func runBatch(city *dublin.City, reg *traffic.Registry, wm rtec.Time, buses, sen
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "path\ttime\tns/SDE\tSDE/s\tallocs/SDE")
+	fmt.Fprintln(w, "path\ttime\tns/SDE\tSDE/s\tallocs/SDE\tres-B/SDE")
 	row := func(name string, o outcome) {
 		perE := float64(o.best.Nanoseconds()) / float64(n)
-		fmt.Fprintf(w, "%s\t%.1fms\t%.0f\t%.0fK\t%.2f\n",
-			name, o.best.Seconds()*1000, perE, float64(n)/o.best.Seconds()/1000, o.allocsPerE)
+		fmt.Fprintf(w, "%s\t%.1fms\t%.0f\t%.0fK\t%.2f\t%.0f\n",
+			name, o.best.Seconds()*1000, perE, float64(n)/o.best.Seconds()/1000, o.allocsPerE,
+			float64(o.resident)/float64(n))
 	}
 	row("map", mapOut)
 	row("columnar", colOut)
@@ -359,7 +379,7 @@ func measure(reg *traffic.Registry, adaptive bool, wm, from rtec.Time, events []
 	var total time.Duration
 	for r := 0; r < runs; r++ {
 		part, err := rtec.NewPartitioned(defs,
-			rtec.Options{WorkingMemory: wm, Step: wm, ForceFullRecompute: full},
+			rtec.Options{WorkingMemory: wm, Step: wm, ForceFullRecompute: full, Store: storeKind},
 			4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
 		if err != nil {
 			log.Fatal(err)
@@ -392,7 +412,7 @@ func measureSliding(reg *traffic.Registry, adaptive bool, wm, step, from rtec.Ti
 	var total time.Duration
 	for r := 0; r < runs; r++ {
 		part, err := rtec.NewPartitioned(defs,
-			rtec.Options{WorkingMemory: wm, Step: step, ForceFullRecompute: full},
+			rtec.Options{WorkingMemory: wm, Step: step, ForceFullRecompute: full, Store: storeKind},
 			4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
 		if err != nil {
 			log.Fatal(err)

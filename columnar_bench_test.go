@@ -36,7 +36,12 @@ func benchDefs(b *testing.B, city *dublin.City, adaptive bool) *rtec.Definitions
 
 func benchPartitioned(b *testing.B, defs *rtec.Definitions, wm, step rtec.Time) *rtec.Partitioned {
 	b.Helper()
-	part, err := rtec.NewPartitioned(defs, rtec.Options{WorkingMemory: wm, Step: step},
+	return benchPartitionedOpts(b, defs, rtec.Options{WorkingMemory: wm, Step: step})
+}
+
+func benchPartitionedOpts(b *testing.B, defs *rtec.Definitions, opts rtec.Options) *rtec.Partitioned {
+	b.Helper()
+	part, err := rtec.NewPartitioned(defs, opts,
 		4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
 	if err != nil {
 		b.Fatal(err)
@@ -217,14 +222,20 @@ func BenchmarkSustainedIngest(b *testing.B) {
 	}
 
 	for _, mode := range []struct {
-		name string
-		feed func(*testing.B, *rtec.Partitioned)
+		name  string
+		feed  func(*testing.B, *rtec.Partitioned)
+		store rtec.StoreKind
 	}{
-		{"map", feedMap},
-		{"columnar", feedColumnar},
+		{"map", feedMap, rtec.StoreRow},
+		{"columnar", feedColumnar, rtec.StoreRow},
+		{"columnar-colstore", feedColumnar, rtec.StoreColumn},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			part := benchPartitioned(b, defs, wm, wm)
+			// Profile turns on the resident-store accounting (recorded
+			// outside the timer, at the per-window queries).
+			part := benchPartitionedOpts(b, defs, rtec.Options{
+				WorkingMemory: wm, Step: wm, Store: mode.store, Profile: true,
+			})
 			// Warm-up pass: store and pool slices reach their
 			// steady-state capacities before the timer starts.
 			mode.feed(b, part)
@@ -232,19 +243,108 @@ func BenchmarkSustainedIngest(b *testing.B) {
 				b.Fatal(err)
 			}
 			shiftBatches(wm)
+			var resident uint64
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				mode.feed(b, part)
 				b.StopTimer()
-				if _, err := part.Query(from + shift + wm); err != nil {
+				results, err := part.Query(from + shift + wm)
+				if err != nil {
 					b.Fatal(err)
 				}
+				resident = rtec.MergeResults(results).Stats.ResidentBytes
 				shiftBatches(wm)
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(n), "events")
+			b.ReportMetric(float64(resident)/float64(n), "res-B/event")
 		})
+	}
+}
+
+// residentAtSteadyState runs the sustained-ingest workload for a few
+// windows on one store kind and returns the resident store bytes the
+// last query reported, plus the per-window event count.
+func residentAtSteadyState(t *testing.T, kind rtec.StoreKind) (uint64, int) {
+	t.Helper()
+	const wm = rtec.Time(30 * 60)
+	from := rtec.Time(7 * 3600)
+	city, err := dublin.NewCity(dublin.Config{Seed: 1, NumBuses: 118, NumSensors: 121})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := city.Registry(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs, err := traffic.Build(traffic.Config{Registry: reg, NoisyPolicy: traffic.Pessimistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bstreams := city.CollectBatches(from, from+wm, 512, 0)
+	n := 0
+	var batches []*streams.Batch
+	var blocks []*rtec.Block
+	for _, bs := range bstreams {
+		for _, batch := range bs.Batches {
+			batches = append(batches, batch)
+			blocks = append(blocks, dublin.Block(batch))
+			n += batch.Len()
+		}
+	}
+	defer func() {
+		for _, batch := range batches {
+			batch.Release()
+		}
+	}()
+	part, err := rtec.NewPartitioned(defs, rtec.Options{
+		WorkingMemory: wm, Step: wm, Store: kind, Profile: true,
+	}, 4, func(e rtec.Event) int { return dublin.PartitionOf(e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.SetBlockAssign(dublin.PartitionOfBlock)
+	var resident uint64
+	shift := rtec.Time(0)
+	for pass := 0; pass < 3; pass++ {
+		for _, blk := range blocks {
+			if err := part.InputBlock(blk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		results, err := part.Query(from + shift + wm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resident = rtec.MergeResults(results).Stats.ResidentBytes
+		for _, batch := range batches {
+			for i := range batch.Times {
+				batch.Times[i] += int64(wm)
+			}
+		}
+		shift += wm
+	}
+	return resident, n
+}
+
+// TestResidentBudget is the resident-memory gate of the columnar
+// store: at ingest steady state (eviction active, identical workload)
+// the column-resident store must hold at least 1.5× fewer estimated
+// resident bytes per event than the row store.
+func TestResidentBudget(t *testing.T) {
+	rowBytes, n := residentAtSteadyState(t, rtec.StoreRow)
+	colBytes, _ := residentAtSteadyState(t, rtec.StoreColumn)
+	if rowBytes == 0 || colBytes == 0 {
+		t.Fatalf("resident accounting inert: row=%d column=%d", rowBytes, colBytes)
+	}
+	t.Logf("resident store bytes at steady state: row=%d (%.1f B/event), column=%d (%.1f B/event), ratio=%.2fx",
+		rowBytes, float64(rowBytes)/float64(n), colBytes, float64(colBytes)/float64(n),
+		float64(rowBytes)/float64(colBytes))
+	// colBytes*3 <= rowBytes*2  <=>  rowBytes/colBytes >= 1.5
+	if colBytes*3 > rowBytes*2 {
+		t.Errorf("column store resident bytes = %d, want at least 1.5x below row store's %d",
+			colBytes, rowBytes)
 	}
 }
 

@@ -86,6 +86,12 @@ type Config struct {
 	WatermarkStaleness Time
 	// Seed drives the crowdsourcing simulation.
 	Seed int64
+	// Store selects the RTEC working-memory representation for every
+	// partition engine: rtec.StoreRow (the default) keeps one Event per
+	// stored SDE, rtec.StoreColumn keeps per-type column blocks with
+	// row-id key indexes (lower resident memory, identical recognition
+	// output — see DESIGN.md, "Columnar store internals").
+	Store rtec.StoreKind
 	// ColumnarTransport moves SDEs through the pipeline as typed
 	// columnar batches (streams.Batch) instead of one map-backed item
 	// per event: the generator emits batches natively and the
@@ -179,6 +185,7 @@ func New(cfg Config) (*System, error) {
 	engines, err := rtec.NewPartitioned(defs, rtec.Options{
 		WorkingMemory: cfg.WorkingMemory,
 		Step:          cfg.Step,
+		Store:         cfg.Store,
 	}, cfg.Partitions, func(e rtec.Event) int {
 		return dublin.PartitionOf(e) % cfg.Partitions
 	})

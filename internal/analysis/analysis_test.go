@@ -73,6 +73,7 @@ var goldenCases = []struct {
 	{GoroutineLeak, "goroutineleak", "fixture/goroutineleak"},
 	{HotAlloc, "hotalloc", "fixture/internal/linalg"},
 	{HotAlloc, "hotalloc_batch", "fixture/streams"},
+	{HotAlloc, "hotalloc_colstore", "fixture/colstore/rtec"},
 	{FloatEq, "floateq", "fixture/floateq"},
 	{LockCopy, "lockcopy", "fixture/lockcopy"},
 	{ItemAlias, "itemalias", "fixture/itemalias"},

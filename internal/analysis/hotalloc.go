@@ -15,7 +15,7 @@ import (
 // builds result maps.
 var hotPathFuncs = map[string]*regexp.Regexp{
 	"internal/linalg": regexp.MustCompile(`.*`),
-	"rtec":            regexp.MustCompile(`^(window|windowForKey|sliceSpan|trimBefore|evict|dirtyFloor|insertSorted|dot4)$`),
+	"rtec":            regexp.MustCompile(`^(window|windowForKey|sliceSpan|trimBefore|evict|dirtyFloor|insertSorted|dot4|rows|rowsForKey|countInSpan|idBounds|trimIDs)$`),
 }
 
 // batchPathFuncs maps packages to the functions forming the columnar
@@ -25,17 +25,22 @@ var hotPathFuncs = map[string]*regexp.Regexp{
 // reverts the batch path to per-item cost.
 var batchPathFuncs = map[string]*regexp.Regexp{
 	"streams": regexp.MustCompile(`^(AppendRowFrom|faultBatch)$`),
-	"rtec":    regexp.MustCompile(`^(copyRows|inputBlock)$`),
+	"rtec":    regexp.MustCompile(`^(copyRows|inputBlock|insertRows|mergeOrder|appendCols|appendFrom|gatherCol)$`),
 	"insight": regexp.MustCompile(`^(admitRows|ProcessBatch)$`),
 }
 
-// itemMaterializers are the calls that rebuild a per-event map
-// representation from columnar data; calling one per row inside a
-// batch loop defeats the batching.
+// itemMaterializers are the calls that rebuild a per-event (map or
+// view) representation from columnar data; calling one per row inside
+// a batch loop defeats the batching. Event/At/Slice cover the resident
+// column store: its window and merge paths must move packed cells, not
+// materialize one Event per row.
 var itemMaterializers = map[string]bool{
 	"ItemAt":   true,
 	"Clone":    true,
 	"NewEvent": true,
+	"Event":    true,
+	"At":       true,
+	"Slice":    true,
 }
 
 // HotAlloc flags allocation sites inside the innermost loop bodies of

@@ -595,6 +595,7 @@ func (p *rtecProcessor) admitRows(q Time) (int, error) {
 		}
 		p.runRows = append(p.runRows, ref.row)
 		if ref.pb.blk.Type == traffic.TrafficType {
+			//lint:allow hotalloc view Event is a stack value; noteTraffic reads two cells, no map is built
 			p.system.noteTraffic(ref.pb.blk.Event(int(ref.row)))
 		}
 		fed++

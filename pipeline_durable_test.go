@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/rtec"
 	"github.com/insight-dublin/insight/streams"
 	"github.com/insight-dublin/insight/traffic"
 )
@@ -17,12 +18,17 @@ import (
 // (replay must not re-query participants), unpaced with a strict
 // watermark (deterministic and fast — no degradation possible, so
 // recognition output is a pure function of the SDE collection).
+// The column-resident store is selected so the whole durability suite
+// — checkpoints, crash recovery, fingerprint equivalence — runs
+// against the block-native working memory (checkpoints themselves are
+// store-representation-independent, see rtec snapshots).
 func durableConfig(city *dublin.City) Config {
 	return Config{
 		City:              city,
 		Seed:              7,
 		WorkingMemory:     1800,
 		Step:              900,
+		Store:             rtec.StoreColumn,
 		ColumnarTransport: true,
 		UnpacedReplay:     true,
 		Traffic: traffic.Config{
@@ -200,11 +206,11 @@ func TestCrashEquivalence(t *testing.T) {
 			cfg.Step = 450
 			return New(cfg)
 		},
-		From:      from,
-		Until:     until,
-		Dir:       t.TempDir(),
-		Kills:     20,
-		Seed:      1,
+		From:  from,
+		Until: until,
+		Dir:   t.TempDir(),
+		Kills: 20,
+		Seed:  1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -23,20 +23,45 @@ const (
 	ColBool
 	// ColStr is a dictionary-encoded string column.
 	ColStr
+	// ColIntGo is a Go int column. The resident column store keeps it
+	// distinct from ColInt so a columnarised map event returns the
+	// exact boxed type the original did from Event.Get.
+	ColIntGo
+	// ColAny is a boxed fallback column for rows whose attribute
+	// values mix types (or use a type no packed column covers). Only
+	// the resident column store produces it.
+	ColAny
 )
 
 // BCol is one named attribute column of a Block. Exactly one data
 // slice is populated, according to Kind; string columns carry per-row
 // indexes into the small Dict table of distinct values.
+//
+// Present optionally marks which rows carry the attribute at all; a
+// nil Present means every row does (the only case the transport layer
+// produces). The resident column store uses the mask when events of
+// one type disagree on their attribute sets.
 type BCol struct {
 	Name string
 	Kind ColKind
 
-	F    []float64
-	I    []int64
-	B    []bool
-	SIdx []uint32
-	Dict []string
+	F       []float64
+	I       []int64
+	B       []bool
+	SIdx    []uint32
+	Dict    []string
+	N       []int // ColIntGo
+	A       []any // ColAny
+	Present []bool
+
+	// dict indexes Dict for find-or-add interning; only the resident
+	// column store maintains it (nil on transport blocks).
+	dict map[string]uint32
+}
+
+// present reports whether the attribute is set on row.
+func (c *BCol) present(row int) bool {
+	return c.Present == nil || c.Present[row]
 }
 
 // Block is a columnar batch of same-typed SDEs: occurrence times and
@@ -66,11 +91,21 @@ type Block struct {
 // Len returns the number of rows.
 func (b *Block) Len() int { return len(b.Times) }
 
+// Key returns the entity key of row i. The resident column store
+// keeps Keys nil and encodes every key through KIdx/KDict; transport
+// blocks always populate Keys.
+func (b *Block) Key(i int) string {
+	if b.Keys == nil {
+		return b.KDict[b.KIdx[i]]
+	}
+	return b.Keys[i]
+}
+
 // Event returns the view event of row i: an Event whose attribute
 // accessors read b's columns. The view is valid for as long as the
 // block is; the engine only builds views over blocks it owns.
 func (b *Block) Event(i int) Event {
-	return Event{Type: b.Type, Time: Time(b.Times[i]), Key: b.Keys[i], blk: b, row: int32(i)}
+	return Event{Type: b.Type, Time: Time(b.Times[i]), Key: b.Key(i), blk: b, row: int32(i)}
 }
 
 // Column returns the named attribute column, or nil if the block does
@@ -100,6 +135,9 @@ func (b *Block) getAt(name string, row int) (any, bool) {
 		return nil, false
 	}
 	c := &b.Cols[ci]
+	if !c.present(row) {
+		return nil, false
+	}
 	switch c.Kind {
 	case ColFloat:
 		return c.F[row], true
@@ -107,6 +145,10 @@ func (b *Block) getAt(name string, row int) (any, bool) {
 		return c.I[row], true
 	case ColBool:
 		return c.B[row], true
+	case ColIntGo:
+		return c.N[row], true
+	case ColAny:
+		return c.A[row], true
 	default:
 		return c.Dict[c.SIdx[row]], true
 	}
@@ -120,11 +162,25 @@ func (b *Block) floatAt(name string, row int) (float64, bool) {
 		return 0, false
 	}
 	c := &b.Cols[ci]
+	if !c.present(row) {
+		return 0, false
+	}
 	switch c.Kind {
 	case ColFloat:
 		return c.F[row], true
 	case ColInt:
 		return float64(c.I[row]), true
+	case ColIntGo:
+		return float64(c.N[row]), true
+	case ColAny:
+		switch v := c.A[row].(type) {
+		case float64:
+			return v, true
+		case int:
+			return float64(v), true
+		case int64:
+			return float64(v), true
+		}
 	}
 	return 0, false
 }
@@ -136,30 +192,65 @@ func (b *Block) intAt(name string, row int) (int64, bool) {
 		return 0, false
 	}
 	c := &b.Cols[ci]
+	if !c.present(row) {
+		return 0, false
+	}
 	switch c.Kind {
 	case ColInt:
 		return c.I[row], true
 	case ColFloat:
 		return int64(c.F[row]), true
+	case ColIntGo:
+		return int64(c.N[row]), true
+	case ColAny:
+		switch v := c.A[row].(type) {
+		case int64:
+			return v, true
+		case int:
+			return int64(v), true
+		case float64:
+			return int64(v), true
+		}
 	}
 	return 0, false
 }
 
 func (b *Block) strAt(name string, row int) (string, bool) {
 	ci := b.colIndex(name)
-	if ci < 0 || b.Cols[ci].Kind != ColStr {
+	if ci < 0 {
 		return "", false
 	}
 	c := &b.Cols[ci]
-	return c.Dict[c.SIdx[row]], true
+	if !c.present(row) {
+		return "", false
+	}
+	switch c.Kind {
+	case ColStr:
+		return c.Dict[c.SIdx[row]], true
+	case ColAny:
+		v, ok := c.A[row].(string)
+		return v, ok
+	}
+	return "", false
 }
 
 func (b *Block) boolAt(name string, row int) (bool, bool) {
 	ci := b.colIndex(name)
-	if ci < 0 || b.Cols[ci].Kind != ColBool {
+	if ci < 0 {
 		return false, false
 	}
-	return b.Cols[ci].B[row], true
+	c := &b.Cols[ci]
+	if !c.present(row) {
+		return false, false
+	}
+	switch c.Kind {
+	case ColBool:
+		return c.B[row], true
+	case ColAny:
+		v, ok := c.A[row].(bool)
+		return v, ok
+	}
+	return false, false
 }
 
 // copyRows gathers the given rows of src into a freshly allocated
@@ -211,11 +302,27 @@ func copyRows(src *Block, rows []int32) *Block {
 			for j, r := range rows {
 				dc.B[j] = sc.B[r]
 			}
+		case ColIntGo:
+			dc.N = make([]int, n)
+			for j, r := range rows {
+				dc.N[j] = sc.N[r]
+			}
+		case ColAny:
+			dc.A = make([]any, n)
+			for j, r := range rows {
+				dc.A[j] = sc.A[r]
+			}
 		default:
 			dc.Dict = append([]string(nil), sc.Dict...)
 			dc.SIdx = make([]uint32, n)
 			for j, r := range rows {
 				dc.SIdx[j] = sc.SIdx[r]
+			}
+		}
+		if sc.Present != nil {
+			dc.Present = make([]bool, n)
+			for j, r := range rows {
+				dc.Present[j] = sc.Present[r]
 			}
 		}
 	}

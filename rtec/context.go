@@ -36,10 +36,76 @@ type Context struct {
 	q      Time
 	view   Span // event visibility, ⊆ [Q-WM+1, Q+1); normally the full window
 
-	store        *eventStore                   // SDE buckets (read-only during a query); may be nil
+	store        sdeStore                      // SDE buckets (read-only during a query); may be nil
 	derived      map[string][]Event            // derived events by type, time-sorted
 	derivedByKey map[string]map[string][]Event // type -> key -> time-sorted events
 	fluents      map[string]map[KV]List        // name -> instance -> maximal intervals
+}
+
+// Rows is a zero-copy window view: the time-sorted events of one type
+// (or one type and key) inside the window, iterable without
+// materializing Event values. Over the row store it wraps the shared
+// event slice; over the column store it wraps the resident segment
+// plus a row-id sub-slice, and At builds the lightweight column view
+// on demand — rules that only need times, keys or single attributes
+// never pay for an Event at all.
+//
+// A Rows view is valid for the duration of the query that produced it;
+// do not retain it across queries (eviction and compaction may reuse
+// the underlying storage).
+type Rows struct {
+	evs []Event // row store and derived events
+	seg *colSeg // column store; nil when evs is the backing
+	ids []int32 // row ids into seg, (time, arrival)-sorted
+}
+
+// Len returns the number of events in the view.
+func (r Rows) Len() int {
+	if r.seg != nil {
+		return len(r.ids)
+	}
+	return len(r.evs)
+}
+
+// At returns the i-th event in (time, arrival) order.
+func (r Rows) At(i int) Event {
+	if r.seg != nil {
+		return r.seg.blk.Event(int(r.ids[i]))
+	}
+	return r.evs[i]
+}
+
+// TimeAt returns the i-th event's occurrence time without
+// materializing the event.
+func (r Rows) TimeAt(i int) Time {
+	if r.seg != nil {
+		return Time(r.seg.blk.Times[r.ids[i]])
+	}
+	return r.evs[i].Time
+}
+
+// KeyAt returns the i-th event's entity key without materializing the
+// event.
+func (r Rows) KeyAt(i int) string {
+	if r.seg != nil {
+		return r.seg.blk.Key(int(r.ids[i]))
+	}
+	return r.evs[i].Key
+}
+
+// Slice materializes the view as an event slice. Over the row store
+// this is the shared backing slice (zero-copy, do not modify); over
+// the column store it allocates — columnar-aware rules should iterate
+// the view instead.
+func (r Rows) Slice() []Event {
+	if r.seg == nil {
+		return r.evs
+	}
+	out := make([]Event, len(r.ids))
+	for i, id := range r.ids {
+		out[i] = r.seg.blk.Event(int(id))
+	}
+	return out
 }
 
 func newContext(q Time, window Span) *Context {
@@ -53,7 +119,7 @@ func newContext(q Time, window Span) *Context {
 	}
 }
 
-func newStoreContext(q Time, window Span, store *eventStore) *Context {
+func newStoreContext(q Time, window Span, store sdeStore) *Context {
 	c := newContext(q, window)
 	c.store = store
 	return c
@@ -74,32 +140,48 @@ func (c *Context) Window() Span { return c.window }
 // QueryTime returns the current query time Q.
 func (c *Context) QueryTime() Time { return c.q }
 
-// Events returns the time-sorted occurrences of an event type inside
-// the window. The returned slice is shared; do not modify.
-func (c *Context) Events(typ string) []Event {
+// Rows returns the window view of an event type: the time-sorted
+// occurrences inside the window, iterable without materializing
+// events. This is the columnar-aware counterpart of Events.
+func (c *Context) Rows(typ string) Rows {
 	if evs, ok := c.derived[typ]; ok {
-		return sliceSpan(evs, c.view)
+		return Rows{evs: sliceSpan(evs, c.view)}
 	}
 	if c.store != nil {
 		if b := c.store.bucket(typ); b != nil {
-			return b.window(c.view)
+			return b.rows(c.view)
 		}
 	}
-	return nil
+	return Rows{}
+}
+
+// RowsForKey is Rows restricted to one entity key.
+func (c *Context) RowsForKey(typ, key string) Rows {
+	if m, ok := c.derivedByKey[typ]; ok {
+		return Rows{evs: sliceSpan(m[key], c.view)}
+	}
+	if c.store != nil {
+		if b := c.store.bucket(typ); b != nil {
+			return b.rowsForKey(key, c.view)
+		}
+	}
+	return Rows{}
+}
+
+// Events returns the time-sorted occurrences of an event type inside
+// the window. The returned slice is shared; do not modify. Over the
+// column store the slice is materialized per call — columnar-aware
+// rules should use Rows instead.
+func (c *Context) Events(typ string) []Event {
+	return c.Rows(typ).Slice()
 }
 
 // EventsForKey returns the time-sorted occurrences of an event type
 // for one entity key. The returned slice is shared; do not modify.
+// Over the column store the slice is materialized per call —
+// columnar-aware rules should use RowsForKey instead.
 func (c *Context) EventsForKey(typ, key string) []Event {
-	if m, ok := c.derivedByKey[typ]; ok {
-		return sliceSpan(m[key], c.view)
-	}
-	if c.store != nil {
-		if b := c.store.bucket(typ); b != nil {
-			return b.windowForKey(key, c.view)
-		}
-	}
-	return nil
+	return c.RowsForKey(typ, key).Slice()
 }
 
 // EventKeys returns the distinct entity keys that have occurrences of
@@ -108,7 +190,7 @@ func (c *Context) EventsForKey(typ, key string) []Event {
 // order must be run-stable for recognition output to be
 // deterministic.
 func (c *Context) EventKeys(typ string) []string {
-	collect := func(m map[string][]Event) []string {
+	if m, ok := c.derivedByKey[typ]; ok {
 		var out []string
 		for k, evs := range m {
 			if len(sliceSpan(evs, c.view)) > 0 {
@@ -118,12 +200,9 @@ func (c *Context) EventKeys(typ string) []string {
 		sort.Strings(out)
 		return out
 	}
-	if m, ok := c.derivedByKey[typ]; ok {
-		return collect(m)
-	}
 	if c.store != nil {
 		if b := c.store.bucket(typ); b != nil {
-			return collect(b.byKey)
+			return b.keysInSpan(c.view)
 		}
 	}
 	return nil

@@ -35,6 +35,30 @@ type Options struct {
 	// of one stratum concurrently. 0 means GOMAXPROCS; 1 forces
 	// serial evaluation. Strata remain barriers either way.
 	RuleWorkers int
+	// Store selects the working-memory representation. The default
+	// StoreRow is the original row-resident event store; StoreColumn
+	// keeps working memory as per-type column segments with row-id
+	// indexes — same observable behaviour, a fraction of the resident
+	// bytes. See store.go.
+	Store StoreKind
+}
+
+// StoreKind selects a working-memory implementation.
+type StoreKind uint8
+
+const (
+	// StoreRow is the row-resident event store (the equivalence
+	// reference).
+	StoreRow StoreKind = iota
+	// StoreColumn is the columnar-resident store.
+	StoreColumn
+)
+
+func (k StoreKind) String() string {
+	if k == StoreColumn {
+		return "column"
+	}
+	return "row"
 }
 
 // Engine is a windowed RTEC evaluator. It accumulates SDEs as they
@@ -48,7 +72,7 @@ type Engine struct {
 	defs *Definitions
 	opts Options
 
-	store   *eventStore // time-indexed SDE buckets
+	store   sdeStore // time-indexed SDE buckets
 	lastQ   Time
 	started bool
 
@@ -93,13 +117,16 @@ func NewEngine(defs *Definitions, opts Options) (*Engine, error) {
 	if opts.RuleWorkers < 0 {
 		return nil, fmt.Errorf("rtec: rule workers must be non-negative, got %d", opts.RuleWorkers)
 	}
+	if opts.Store > StoreColumn {
+		return nil, fmt.Errorf("rtec: unknown store kind %d", opts.Store)
+	}
 	if opts.Step == 0 {
 		opts.Step = opts.WorkingMemory
 	}
 	return &Engine{
 		defs:  defs,
 		opts:  opts,
-		store: newEventStore(),
+		store: newSDEStore(opts.Store),
 		prev:  make(map[string]map[KV]List),
 		cache: make(map[string]*ruleCache),
 		seen:  make(map[derivedID]bool),
@@ -189,11 +216,7 @@ func (e *Engine) inputBlock(b *Block, rows []int32) error {
 	if !sorted {
 		e.sortRows(b)
 	}
-	owned := copyRows(b, e.rowScratch)
-	e.store.insertBlock(owned, e.started, e.lastQ)
-	// The key dictionary was only needed to group the insertion; drop
-	// it so the long-lived owned block doesn't pin the caller's table.
-	owned.KIdx, owned.KDict = nil, nil
+	e.store.insertRows(b, e.rowScratch, e.started, e.lastQ)
 	return nil
 }
 
@@ -265,6 +288,10 @@ type Stats struct {
 	// (cumulative TotalAlloc delta). Recorded only under
 	// Options.Profile; 0 otherwise.
 	AllocBytes uint64
+	// ResidentBytes estimates the heap resident in the SDE store's
+	// long-lived structures after eviction (see sdeStore). Recorded
+	// only under Options.Profile; 0 otherwise.
+	ResidentBytes uint64
 	// EvalGoroutines is the peak number of goroutines that evaluated
 	// rules concurrently (1 when every stratum ran serially).
 	EvalGoroutines int
@@ -340,7 +367,7 @@ func (e *Engine) Query(q Time) (*Result, error) {
 	}
 	for typ := range e.defs.sdeTypes {
 		if b := e.store.bucket(typ); b != nil {
-			res.Stats.InputEvents += len(b.window(ctx.view))
+			res.Stats.InputEvents += b.countInSpan(ctx.view)
 		}
 	}
 
@@ -496,6 +523,7 @@ func (e *Engine) Query(q Time) (*Result, error) {
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
 		res.Stats.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+		res.Stats.ResidentBytes = e.store.residentBytes()
 	}
 
 	e.prev = newPrev

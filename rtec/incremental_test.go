@@ -351,7 +351,7 @@ func TestMergeResultsSumsStats(t *testing.T) {
 			},
 		}
 	}
-	m := MergeResults([]*Result{mk(100, 2, time.Millisecond), mk(250, 3, 2 * time.Millisecond)})
+	m := MergeResults([]*Result{mk(100, 2, time.Millisecond), mk(250, 3, 2*time.Millisecond)})
 	if m.Stats.AllocBytes != 350 {
 		t.Fatalf("AllocBytes = %d, want 350", m.Stats.AllocBytes)
 	}

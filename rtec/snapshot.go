@@ -109,23 +109,16 @@ type EngineSnapshot struct {
 func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 	s := &EngineSnapshot{LastQ: e.lastQ, Started: e.started}
 
-	types := make([]string, 0, len(e.store.types))
-	for typ := range e.store.types {
-		types = append(types, typ)
+	// The store flattens itself to the canonical row-oriented form:
+	// identical engine states produce identical snapshots whichever
+	// store implementation is configured, so a checkpoint written by a
+	// row-store engine restores into a column-store one (and vice
+	// versa) bit-identically.
+	types, err := e.store.snapshotTypes()
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(types)
-	for _, typ := range types {
-		b := e.store.types[typ]
-		ts := TypeSnapshot{Type: typ, LateMin: b.lateMin, Events: make([]EventSnapshot, 0, len(b.events))}
-		for _, ev := range b.events {
-			es, err := snapshotEvent(ev)
-			if err != nil {
-				return nil, fmt.Errorf("rtec: snapshot of %s event at %d: %w", typ, int64(ev.Time), err)
-			}
-			ts.Events = append(ts.Events, es)
-		}
-		s.Types = append(s.Types, ts)
-	}
+	s.Types = types
 
 	fluents := make([]string, 0, len(e.prev))
 	for name := range e.prev {
@@ -175,6 +168,9 @@ func snapshotEvent(ev Event) (EventSnapshot, error) {
 		row := int(ev.row)
 		for ci := range ev.blk.Cols {
 			c := &ev.blk.Cols[ci]
+			if !c.present(row) {
+				continue
+			}
 			a := Attr{Name: c.Name}
 			switch c.Kind {
 			case ColFloat:
@@ -183,6 +179,13 @@ func snapshotEvent(ev Event) (EventSnapshot, error) {
 				a.Kind, a.I = AttrInt64, c.I[row]
 			case ColBool:
 				a.Kind, a.B = AttrBool, c.B[row]
+			case ColIntGo:
+				a.Kind, a.I = AttrInt, int64(c.N[row])
+			case ColAny:
+				var err error
+				if a, err = attrFromValue(c.Name, c.A[row]); err != nil {
+					return es, err
+				}
 			default:
 				a.Kind, a.S = AttrStr, c.Dict[c.SIdx[row]]
 			}
@@ -200,24 +203,33 @@ func snapshotEvent(ev Event) (EventSnapshot, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		a := Attr{Name: name}
-		switch v := ev.Attrs[name].(type) {
-		case float64:
-			a.Kind, a.F = AttrFloat, v
-		case int64:
-			a.Kind, a.I = AttrInt64, v
-		case int:
-			a.Kind, a.I = AttrInt, int64(v)
-		case bool:
-			a.Kind, a.B = AttrBool, v
-		case string:
-			a.Kind, a.S = AttrStr, v
-		default:
-			return es, fmt.Errorf("attribute %q has unsupported type %T", name, v)
+		a, err := attrFromValue(name, ev.Attrs[name])
+		if err != nil {
+			return es, err
 		}
 		es.Attrs = append(es.Attrs, a)
 	}
 	return es, nil
+}
+
+// attrFromValue boxes one attribute value into its snapshot form.
+func attrFromValue(name string, v any) (Attr, error) {
+	a := Attr{Name: name}
+	switch v := v.(type) {
+	case float64:
+		a.Kind, a.F = AttrFloat, v
+	case int64:
+		a.Kind, a.I = AttrInt64, v
+	case int:
+		a.Kind, a.I = AttrInt, int64(v)
+	case bool:
+		a.Kind, a.B = AttrBool, v
+	case string:
+		a.Kind, a.S = AttrStr, v
+	default:
+		return a, fmt.Errorf("attribute %q has unsupported type %T", name, v)
+	}
+	return a, nil
 }
 
 // restoreEvent rebuilds a map-backed event from its snapshot.
@@ -251,30 +263,21 @@ func restoreEvent(typ string, es EventSnapshot) (Event, error) {
 // rejected. All previous state — store, inertia, dedup set, splice
 // caches — is discarded.
 func (e *Engine) Restore(s *EngineSnapshot) error {
-	store := newEventStore()
+	// The rebuilt store is whatever kind the restoring engine is
+	// configured with — snapshots are store-representation-independent,
+	// so a checkpoint migrates between store kinds transparently.
+	store := newSDEStore(e.opts.Store)
+	restored := make(map[string]bool, len(s.Types))
 	for _, ts := range s.Types {
 		if !e.defs.IsSDE(ts.Type) {
 			return fmt.Errorf("rtec: snapshot type %q was not declared as an SDE", ts.Type)
 		}
-		if _, dup := store.types[ts.Type]; dup {
+		if restored[ts.Type] {
 			return fmt.Errorf("rtec: duplicate snapshot type %q", ts.Type)
 		}
-		b := &typeEvents{byKey: make(map[string][]Event), lateMin: ts.LateMin}
-		store.types[ts.Type] = b
-		prev := Time(MinTime)
-		for i, es := range ts.Events {
-			if es.Time < prev {
-				return fmt.Errorf("rtec: snapshot events of %q not time-sorted at index %d", ts.Type, i)
-			}
-			prev = es.Time
-			ev, err := restoreEvent(ts.Type, es)
-			if err != nil {
-				return err
-			}
-			b.events = append(b.events, ev)
-			// Per-key subsequences of a time-sorted bucket are
-			// time-sorted, so in-order appends rebuild byKey exactly.
-			b.byKey[ev.Key] = append(b.byKey[ev.Key], ev)
+		restored[ts.Type] = true
+		if err := store.restoreType(ts); err != nil {
+			return err
 		}
 	}
 

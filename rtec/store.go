@@ -1,6 +1,78 @@
 package rtec
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
+
+// sdeStore is the engine's working memory: the time-indexed SDE
+// buckets a query window is extracted from. Two implementations
+// exist — the row-resident eventStore (the original, retained as the
+// equivalence reference) and the columnar-resident columnStore — and
+// both maintain the exact same observable contract:
+//
+//   - per-type buckets ordered by (occurrence time, arrival), so the
+//     order is unique and insertion strategy never shows;
+//   - a per-key index whose per-key sub-sequences follow the same
+//     order;
+//   - the per-type "dirty watermark" (lateMin): the earliest
+//     occurrence time among events that arrived at or before the last
+//     query time, which the incremental evaluator consults through
+//     dirtyFloor.
+//
+// Query-visible behaviour (window contents, key sets, dirty floors,
+// snapshots) must be bit-identical across implementations; the
+// randomized store-equivalence tests pin this.
+type sdeStore interface {
+	// insert files one event; late marks events landing at or before
+	// the last query time.
+	insert(ev Event, late bool)
+	// insertRows files the given rows of a caller-owned block. The
+	// rows must be time-sorted (ties in arrival order); the store
+	// copies what it keeps, so the caller may recycle src afterwards.
+	insertRows(src *Block, rows []int32, started bool, lastQ Time)
+	// bucket returns the type's bucket view, or nil if the store holds
+	// no events of the type.
+	bucket(typ string) sdeBucket
+	// evict permanently discards events with Time <= cutoff.
+	evict(cutoff Time)
+	dirtyFloor(sdeTypes map[string]bool) Time
+	clearDirty()
+	// residentBytes estimates the heap resident in the store's
+	// long-lived structures (events, indexes, columns, dictionaries).
+	// O(stored events); the engine only calls it under Profile.
+	residentBytes() uint64
+	// snapshotTypes flattens every bucket to the canonical row-oriented
+	// snapshot form, types sorted by name — identical engine states
+	// produce identical snapshots regardless of store implementation.
+	snapshotTypes() ([]TypeSnapshot, error)
+	// restoreType rebuilds one bucket from its snapshot (events
+	// must be time-sorted; the caller has validated type and
+	// uniqueness).
+	restoreType(ts TypeSnapshot) error
+}
+
+// sdeBucket is the read-only window view of one type's bucket.
+type sdeBucket interface {
+	// rows returns the events with occurrence time in span, as a
+	// zero-copy view in (time, arrival) order.
+	rows(span Span) Rows
+	// rowsForKey is rows restricted to one entity key.
+	rowsForKey(key string, span Span) Rows
+	// keysInSpan returns the distinct entity keys with events in span,
+	// sorted.
+	keysInSpan(span Span) []string
+	// countInSpan returns the number of events in span.
+	countInSpan(span Span) int
+}
+
+// newSDEStore builds the store implementation opts.Store selects.
+func newSDEStore(kind StoreKind) sdeStore {
+	if kind == StoreColumn {
+		return newColumnStore()
+	}
+	return newEventStore()
+}
 
 // eventStore is the engine's time-indexed SDE store. Events are kept in
 // per-type buckets sorted by occurrence time (ties in arrival order, so
@@ -39,7 +111,16 @@ func newEventStore() *eventStore {
 	return &eventStore{types: make(map[string]*typeEvents)}
 }
 
-func (s *eventStore) bucket(typ string) *typeEvents { return s.types[typ] }
+// bucket returns the type's bucket as an sdeBucket view; the untyped
+// nil on a miss matters — returning a nil *typeEvents inside the
+// interface would defeat the engine's nil checks.
+func (s *eventStore) bucket(typ string) sdeBucket {
+	b := s.types[typ]
+	if b == nil {
+		return nil
+	}
+	return b
+}
 
 // insert files an event, preserving time order (equal times keep
 // arrival order). late marks events whose occurrence time is at or
@@ -56,6 +137,19 @@ func (s *eventStore) insert(ev Event, late bool) {
 	if late && ev.Time < b.lateMin {
 		b.lateMin = ev.Time
 	}
+}
+
+// insertRows gathers the admitted rows into a block the store owns and
+// bulk-files it. The key dictionary is only needed to group the
+// insertion, so it is dropped afterwards — the long-lived owned block
+// must not pin the caller's table.
+func (s *eventStore) insertRows(src *Block, rows []int32, started bool, lastQ Time) {
+	if len(rows) == 0 {
+		return
+	}
+	owned := copyRows(src, rows)
+	s.insertBlock(owned, started, lastQ)
+	owned.KIdx, owned.KDict = nil, nil
 }
 
 // insertBlock files every row of an engine-owned block whose rows are
@@ -148,10 +242,22 @@ func (s *eventStore) insertKeyGroups(b *typeEvents, blk *Block) {
 	}
 }
 
-// resizeInt32 sizes the reusable buffer to n zeroed entries.
+// Scratch buffers are sized by the largest merge overlap or block ever
+// seen; one oversized burst (a delayed region flushing at once) must
+// not pin that high-water mark forever. Buffers above the floor that a
+// use fills to less than a quarter of capacity are reallocated at
+// twice the need — the next burst pays one allocation, steady state
+// pays none.
+const (
+	scratchEventFloor = 1 << 10 // Events (~72 B each)
+	scratchInt32Floor = 1 << 12 // int32 ids
+)
+
+// resizeInt32 sizes the reusable buffer to n zeroed entries, decaying
+// oversized capacity left behind by an earlier burst.
 func resizeInt32(buf *[]int32, n int) []int32 {
-	if cap(*buf) < n {
-		*buf = make([]int32, n)
+	if cap(*buf) < n || (cap(*buf) > scratchInt32Floor && cap(*buf) > 4*n) {
+		*buf = make([]int32, n, max(n, min(cap(*buf)/2, 2*n)))
 		return *buf
 	}
 	*buf = (*buf)[:n]
@@ -201,6 +307,12 @@ func (s *eventStore) mergeBlock(b *typeEvents, blk *Block) {
 		evs = append(evs, blk.Event(j))
 	}
 	b.events = evs
+	if cap(s.mergeScratch) > scratchEventFloor && cap(s.mergeScratch) > 4*len(tail) {
+		// Decay the high-water mark an oversized overlap left behind;
+		// dropping the whole array also drops its event references.
+		s.mergeScratch = make([]Event, 0, 2*len(tail))
+		return
+	}
 	// Drop the scratch's event references (they pin view blocks past
 	// eviction otherwise); the backing array is reused next merge.
 	clear(s.mergeScratch)
@@ -255,6 +367,10 @@ func trimBefore(evs []Event, cutoff Time) []Event {
 		copy(out, evs[i:])
 		return out
 	}
+	// The re-slice shares the backing array, so the dead prefix would
+	// stay reachable until the next copy-threshold trim — clear its
+	// entries so evicted attr maps and view blocks are collectable now.
+	clear(evs[:i])
 	return evs[i:]
 }
 
@@ -267,6 +383,30 @@ func (b *typeEvents) window(span Span) []Event {
 // windowForKey is window restricted to one entity key.
 func (b *typeEvents) windowForKey(key string, span Span) []Event {
 	return sliceSpan(b.byKey[key], span)
+}
+
+// rows wraps the window slice as a Rows view (sdeBucket).
+func (b *typeEvents) rows(span Span) Rows {
+	return Rows{evs: b.window(span)}
+}
+
+func (b *typeEvents) rowsForKey(key string, span Span) Rows {
+	return Rows{evs: b.windowForKey(key, span)}
+}
+
+func (b *typeEvents) keysInSpan(span Span) []string {
+	var out []string
+	for k, evs := range b.byKey {
+		if len(sliceSpan(evs, span)) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *typeEvents) countInSpan(span Span) int {
+	return len(sliceSpan(b.events, span))
 }
 
 // sliceSpan restricts a time-sorted slice to [span.Start, span.End).
@@ -308,4 +448,119 @@ func (s *eventStore) clearDirty() {
 	for _, b := range s.types {
 		b.lateMin = MaxTime
 	}
+}
+
+// Per-entry cost constants for the resident-bytes estimates, fixed so
+// the accounting is platform-independent (64-bit layout assumed).
+const (
+	sizeEvent   = 72 // Event struct: 2 string headers, Time, map ptr, blk ptr, row
+	sizeString  = 16 // string header
+	sizeSlice   = 24 // slice header
+	sizeMapSlot = 48 // rough per-entry map overhead incl. buckets
+	sizeBox     = 16 // boxed interface value on the heap
+)
+
+// residentBytes estimates the long-lived heap the store keeps per
+// event: the per-type event slices, the duplicated per-key index, the
+// attribute payloads (map allocations for map-backed events, pinned
+// column blocks for view events) and the key index itself. It is an
+// estimate — close enough to compare store implementations, not an
+// allocator audit.
+func (s *eventStore) residentBytes() uint64 {
+	var total uint64
+	blocks := make(map[*Block]bool)
+	for typ, b := range s.types {
+		total += uint64(len(typ)) + sizeMapSlot + sizeSlice
+		total += uint64(cap(b.events)) * sizeEvent
+		for key, evs := range b.byKey {
+			total += uint64(len(key)) + sizeMapSlot + uint64(cap(evs))*sizeEvent
+		}
+		for i := range b.events {
+			ev := &b.events[i]
+			if ev.blk != nil {
+				if !blocks[ev.blk] {
+					blocks[ev.blk] = true
+					total += blockResidentBytes(ev.blk)
+				}
+				continue
+			}
+			if ev.Attrs != nil {
+				total += sizeMapSlot // map header
+				for name := range ev.Attrs {
+					total += uint64(len(name)) + sizeMapSlot + sizeBox
+				}
+			}
+		}
+	}
+	return total
+}
+
+// blockResidentBytes estimates the heap pinned by one owned block.
+func blockResidentBytes(b *Block) uint64 {
+	total := uint64(cap(b.Times)) * 8
+	total += uint64(cap(b.Keys)) * sizeString
+	for i := range b.Keys {
+		total += uint64(len(b.Keys[i]))
+	}
+	total += uint64(cap(b.KIdx)) * 4
+	for i := range b.KDict {
+		total += sizeString + uint64(len(b.KDict[i]))
+	}
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		total += uint64(len(c.Name))
+		total += uint64(cap(c.F))*8 + uint64(cap(c.I))*8 + uint64(cap(c.B)) + uint64(cap(c.N))*8
+		total += uint64(cap(c.SIdx))*4 + uint64(cap(c.A))*sizeBox + uint64(cap(c.Present))
+		for i := range c.Dict {
+			total += sizeString + uint64(len(c.Dict[i]))
+		}
+	}
+	return total
+}
+
+// snapshotTypes flattens the buckets to the canonical snapshot form,
+// types sorted by name.
+func (s *eventStore) snapshotTypes() ([]TypeSnapshot, error) {
+	types := make([]string, 0, len(s.types))
+	for typ := range s.types {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	var out []TypeSnapshot
+	for _, typ := range types {
+		b := s.types[typ]
+		ts := TypeSnapshot{Type: typ, LateMin: b.lateMin, Events: make([]EventSnapshot, 0, len(b.events))}
+		for _, ev := range b.events {
+			es, err := snapshotEvent(ev)
+			if err != nil {
+				return nil, fmt.Errorf("rtec: snapshot of %s event at %d: %w", typ, int64(ev.Time), err)
+			}
+			ts.Events = append(ts.Events, es)
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}
+
+// restoreType rebuilds one bucket from its snapshot; events must be
+// time-sorted (snapshots are taken in store order).
+func (s *eventStore) restoreType(ts TypeSnapshot) error {
+	b := &typeEvents{byKey: make(map[string][]Event), lateMin: ts.LateMin}
+	s.types[ts.Type] = b
+	prev := Time(MinTime)
+	for i, es := range ts.Events {
+		if es.Time < prev {
+			return fmt.Errorf("rtec: snapshot events of %q not time-sorted at index %d", ts.Type, i)
+		}
+		prev = es.Time
+		ev, err := restoreEvent(ts.Type, es)
+		if err != nil {
+			return err
+		}
+		b.events = append(b.events, ev)
+		// Per-key subsequences of a time-sorted bucket are
+		// time-sorted, so in-order appends rebuild byKey exactly.
+		b.byKey[ev.Key] = append(b.byKey[ev.Key], ev)
+	}
+	return nil
 }

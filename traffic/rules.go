@@ -197,7 +197,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 		Locality: rtec.Pointwise(), // threshold test on the reading at T only
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
-			for _, e := range ctx.Events(TrafficType) {
+			rows := ctx.Rows(TrafficType)
+			for i := 0; i < rows.Len(); i++ {
+				e := rows.At(i)
 				d, _ := e.Float("density")
 				f, _ := e.Float("flow")
 				if d >= cfg.DensityThreshold && f <= cfg.FlowThreshold {
@@ -311,7 +313,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 	// an attribute.
 	deriveMatches := func(ctx *rtec.Context, wantDisagree bool) []rtec.Event {
 		var out []rtec.Event
-		for _, e := range ctx.Events(MoveType) {
+		rows := ctx.Rows(MoveType)
+		for i := 0; i < rows.Len(); i++ {
+			e := rows.At(i)
 			pos, ok := eventPos(e)
 			if !ok {
 				continue
@@ -379,11 +383,13 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 			for _, d := range ctx.Events(Disagree) {
 				bus, _ := d.Str("bus")
 				busVal, _ := d.Str("value")
+				crowd := ctx.RowsForKey(CrowdType, d.Key)
 				switch cfg.NoisyPolicy {
 				case Pessimistic:
 					// Rule-set (5): any disagreement initiates noisy.
 					out = append(out, rtec.InitiateAt(bus, d.Time))
-					for _, c := range ctx.EventsForKey(CrowdType, d.Key) {
+					for i := 0; i < crowd.Len(); i++ {
+						c := crowd.At(i)
 						crowdVal, _ := c.Str("value")
 						if dt := c.Time - d.Time; dt > 0 && dt < cfg.CrowdWindow && crowdVal == busVal {
 							// The crowd proves the bus correct:
@@ -392,7 +398,8 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 						}
 					}
 				default: // CrowdValidated, rule-set (4)
-					for _, c := range ctx.EventsForKey(CrowdType, d.Key) {
+					for i := 0; i < crowd.Len(); i++ {
+						c := crowd.At(i)
 						crowdVal, _ := c.Str("value")
 						dt := c.Time - d.Time
 						if dt <= 0 || dt >= cfg.CrowdWindow {
@@ -421,7 +428,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 		Locality: rtec.Pointwise(), // move event at T (and, if Adaptive, noisy at T)
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
-			for _, e := range ctx.Events(MoveType) {
+			rows := ctx.Rows(MoveType)
+			for i := 0; i < rows.Len(); i++ {
+				e := rows.At(i)
 				if cfg.Adaptive && ctx.HoldsAt(Noisy, e.Key, e.Time) {
 					continue // rule-set (3′): discard unreliable buses
 				}
@@ -478,9 +487,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 		Derive: func(ctx *rtec.Context) []rtec.Event {
 			var out []rtec.Event
 			for _, bus := range ctx.EventKeys(MoveType) {
-				evs := ctx.EventsForKey(MoveType, bus)
-				for i := 1; i < len(evs); i++ {
-					prev, cur := evs[i-1], evs[i]
+				evs := ctx.RowsForKey(MoveType, bus)
+				for i := 1; i < evs.Len(); i++ {
+					prev, cur := evs.At(i-1), evs.At(i)
 					dt := cur.Time - prev.Time
 					if dt <= 0 || dt >= cfg.DelayIncreaseWindow {
 						continue
@@ -524,10 +533,10 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 			Transitions: func(ctx *rtec.Context) []rtec.Transition {
 				var out []rtec.Transition
 				for _, sensor := range ctx.EventKeys(TrafficType) {
-					evs := ctx.EventsForKey(TrafficType, sensor)
-					for i := 1; i < len(evs); i++ {
-						prev, _ := evs[i-1].Float(attr)
-						cur, _ := evs[i].Float(attr)
+					evs := ctx.RowsForKey(TrafficType, sensor)
+					for i := 1; i < evs.Len(); i++ {
+						prev, _ := evs.At(i - 1).Float(attr)
+						cur, _ := evs.At(i).Float(attr)
 						value := TrendSteady
 						switch {
 						case prev == 0 && cur > 0:
@@ -540,7 +549,7 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 							value = TrendFalling
 						}
 						out = append(out, rtec.Transition{
-							Kind: rtec.Initiate, Key: sensor, Value: value, Time: evs[i].Time,
+							Kind: rtec.Initiate, Key: sensor, Value: value, Time: evs.TimeAt(i),
 						})
 					}
 				}
@@ -586,7 +595,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 		Locality: rtec.Pointwise(),
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
-			for _, e := range ctx.Events(TrafficType) {
+			rows := ctx.Rows(TrafficType)
+			for i := 0; i < rows.Len(); i++ {
+				e := rows.At(i)
 				d, _ := e.Float("density")
 				f, _ := e.Float("flow")
 				congested := d >= cfg.DensityThreshold && f <= cfg.FlowThreshold
@@ -612,7 +623,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 		Locality: rtec.Pointwise(), // crowd report at T vs the fluent value at T
 		Transitions: func(ctx *rtec.Context) []rtec.Transition {
 			var out []rtec.Transition
-			for _, c := range ctx.Events(CrowdType) {
+			rows := ctx.Rows(CrowdType)
+			for i := 0; i < rows.Len(); i++ {
+				c := rows.At(i)
 				val, _ := c.Str("value")
 				crowdSaysCongestion := val == Positive
 				scatsSays := ctx.HoldsAt(ScatsIntCongestion, c.Key, c.Time)
