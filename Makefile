@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-delay bench-gp bench-recovery fuzz-short figures experiments clean
+.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-delay bench-gp bench-recovery bench-shard fuzz-short figures experiments clean
 
 all: build vet test
 
@@ -45,18 +45,24 @@ lint:
 # the columnar ingest path against the committed allocation budget and
 # the column-resident store against the committed resident bytes/event
 # advantage over the row store (the race detector inflates allocation
-# counts, so those gates run in a separate non-race pass), and finish
-# with a short fuzz pass over the factorization/solve, WAL-decode and
-# store block-merge targets.
+# counts, so those gates run in a separate non-race pass), re-run the
+# shard-equivalence gate race-free (the N ∈ {1,2,4,8} × both-store grid
+# under chaos, the mid-run rebalance determinism tests and the tier
+# snapshot round-trip; the race pass above already exercises them under
+# the race scheduler), and finish with a short fuzz pass over the
+# factorization/solve, WAL-decode, store block-merge and
+# shard-assignment targets.
 check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'TestCrashEquivalence' -count=1 .
 	$(GO) test -run 'TestAllocBudget|TestResidentBudget' -count=1 .
+	$(GO) test -run 'TestShardEquivalenceGrid|TestShardRebalanceDeterminism|TestShardAutoRebalancePipeline|TestShardTierSnapshotRoundTrip' -count=1 .
 	$(GO) test -run '^$$' -fuzz FuzzCholesky -fuzztime 5s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 5s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 5s ./streams/wal
 	$(GO) test -run '^$$' -fuzz FuzzMergeBlock -fuzztime 5s ./rtec
+	$(GO) test -run '^$$' -fuzz FuzzShardAssign -fuzztime 5s ./rtec
 
 # The chaos harness: the Dublin pipeline under deterministic fault
 # profiles, scored against its own fault-free run.
@@ -93,6 +99,13 @@ bench-gp:
 	$(GO) test -run '^$$' -bench 'BenchmarkGP_' -benchtime 1x \
 		-count=5 -json ./gp | tee BENCH_gp.json
 
+# The shard scaling bench: the N-way sharded recognition tier on the
+# 10× Dublin profile (9420 buses, 9660 sensors), modeled cluster
+# critical path per shard count, medians of 3 repetitions, committed as
+# BENCH_shard.json.
+bench-shard:
+	$(GO) run ./cmd/shardbench -out BENCH_shard.json
+
 # ~10s of coverage-guided fuzzing per target; linalg regressions land
 # in internal/linalg/testdata/fuzz, WAL frame/codec regressions in
 # streams/wal/testdata/fuzz, as permanent corpus seeds.
@@ -101,6 +114,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzSolveVec -fuzztime 10s ./internal/linalg
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./streams/wal
 	$(GO) test -run '^$$' -fuzz FuzzMergeBlock -fuzztime 10s ./rtec
+	$(GO) test -run '^$$' -fuzz FuzzShardAssign -fuzztime 10s ./rtec
 
 # Regenerate every figure of the paper's evaluation into ./results.
 figures:

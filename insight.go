@@ -60,6 +60,29 @@ type Config struct {
 	// Partitions is the number of CE recognition partitions.
 	// Default geo.NumRegions (the paper's four city areas).
 	Partitions int
+	// Shards switches recognition to the N-way sharded tier: bus keys
+	// and sensors are rendezvous-assigned to Shards shard engines, a
+	// reduce engine folds the cross-shard busCongestion votes, and
+	// skew-driven rebalancing can migrate hot keys between shards (see
+	// DESIGN.md, "Sharded recognition tier"). 0 (the default) keeps the
+	// legacy fixed partitioning; Partitions is then ignored.
+	Shards int
+	// RebalanceFactor enables automatic skew-driven rebalancing on the
+	// sharded tier: when one shard has routed more than RebalanceFactor
+	// × the average number of bus moves since the last check, its
+	// hottest keys migrate to the least loaded shard. <= 0 (default)
+	// disables automatic rebalancing; System.Rebalance still works.
+	RebalanceFactor float64
+	// RebalanceMinMoves is the minimum number of routed moves before a
+	// skew check concludes. Default 64 × Shards.
+	RebalanceMinMoves int
+	// ShardSerialEval evaluates the shard engines one after another
+	// instead of concurrently. Measurement mode for cmd/shardbench: on a
+	// single-core host, concurrent shard queries time-slice and each
+	// engine's Elapsed absorbs the others' wait, so the modeled cluster
+	// critical path (max over shards) is only meaningful when every
+	// shard runs alone. Recognition output is identical either way.
+	ShardSerialEval bool
 	// Participants are the crowdsourcing volunteers. Crowdsourcing is
 	// disabled when empty.
 	Participants []SimParticipant
@@ -115,7 +138,7 @@ type System struct {
 	city      *dublin.City
 	registry  *traffic.Registry
 	defs      *rtec.Definitions
-	engines   *rtec.Partitioned
+	engines   engineTier
 	estimator *crowd.Estimator
 	qeeEngine *qee.Engine
 	roster    *crowd.Roster
@@ -182,20 +205,30 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	engines, err := rtec.NewPartitioned(defs, rtec.Options{
-		WorkingMemory: cfg.WorkingMemory,
-		Step:          cfg.Step,
-		Store:         cfg.Store,
-	}, cfg.Partitions, func(e rtec.Event) int {
-		return dublin.PartitionOf(e) % cfg.Partitions
-	})
-	if err != nil {
-		return nil, err
+	var engines engineTier
+	if cfg.Shards > 0 {
+		tier, err := newShardTier(cfg, tcfg, registry)
+		if err != nil {
+			return nil, err
+		}
+		engines = tier
+	} else {
+		part, err := rtec.NewPartitioned(defs, rtec.Options{
+			WorkingMemory: cfg.WorkingMemory,
+			Step:          cfg.Step,
+			Store:         cfg.Store,
+		}, cfg.Partitions, func(e rtec.Event) int {
+			return dublin.PartitionOf(e) % cfg.Partitions
+		})
+		if err != nil {
+			return nil, err
+		}
+		part.SetBlockAssign(func(b *rtec.Block) func(int) int {
+			of := dublin.PartitionOfBlock(b)
+			return func(i int) int { return of(i) % cfg.Partitions }
+		})
+		engines = part
 	}
-	engines.SetBlockAssign(func(b *rtec.Block) func(int) int {
-		of := dublin.PartitionOfBlock(b)
-		return func(i int) int { return of(i) % cfg.Partitions }
-	})
 
 	s := &System{
 		cfg:          cfg,

@@ -1,0 +1,137 @@
+package insight
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/insight-dublin/insight/rtec"
+)
+
+// TestMergeReports pins the cross-shard report aggregation: sorted key
+// unions, summed statistics with parallel-max Elapsed, max-over-shards
+// WatermarkLag, unioned DegradedStreams, and graceful handling of nil
+// and empty shards.
+func TestMergeReports(t *testing.T) {
+	a := &Report{
+		Q:                      900,
+		Window:                 rtec.Span{Start: 1, End: 901},
+		CongestedIntersections: []string{"I1", "I3"},
+		BusCongestionAreas:     []string{"I1"},
+		NoisyBuses:             []string{"bus2"},
+		DegradedStreams:        []string{"scats-north", "bus"},
+		WatermarkLag:           30,
+		Stats: rtec.Stats{
+			InputEvents:   100,
+			DerivedEvents: 10,
+			FluentPeriods: 5,
+			Elapsed:       20 * time.Millisecond,
+			AllocBytes:    1000,
+			ResidentBytes: 4000,
+		},
+		FedEvents: 50,
+	}
+	b := &Report{
+		Q:                      900,
+		Window:                 rtec.Span{Start: 1, End: 901},
+		CongestedIntersections: []string{"I2", "I3"},
+		Disagreements:          []string{"I2"},
+		DegradedStreams:        []string{"bus"},
+		WatermarkLag:           45,
+		Stats: rtec.Stats{
+			InputEvents:   60,
+			DerivedEvents: 4,
+			FluentPeriods: 2,
+			Elapsed:       35 * time.Millisecond,
+			AllocBytes:    500,
+			ResidentBytes: 3000,
+		},
+		FedEvents: 20,
+	}
+	empty := &Report{Q: 900, Window: rtec.Span{Start: 1, End: 901}} // idle shard
+
+	got := MergeReports([]*Report{a, nil, b, empty})
+	if got == nil {
+		t.Fatal("merged report is nil")
+	}
+	if got.Q != 900 || got.Window != a.Window {
+		t.Errorf("Q/Window = %d/%v", got.Q, got.Window)
+	}
+	if want := []string{"I1", "I2", "I3"}; !reflect.DeepEqual(got.CongestedIntersections, want) {
+		t.Errorf("congested = %v, want %v", got.CongestedIntersections, want)
+	}
+	if want := []string{"I1"}; !reflect.DeepEqual(got.BusCongestionAreas, want) {
+		t.Errorf("busAreas = %v, want %v", got.BusCongestionAreas, want)
+	}
+	if want := []string{"I2"}; !reflect.DeepEqual(got.Disagreements, want) {
+		t.Errorf("disagreements = %v, want %v", got.Disagreements, want)
+	}
+	if want := []string{"bus2"}; !reflect.DeepEqual(got.NoisyBuses, want) {
+		t.Errorf("noisy = %v, want %v", got.NoisyBuses, want)
+	}
+	if want := []string{"bus", "scats-north"}; !reflect.DeepEqual(got.DegradedStreams, want) {
+		t.Errorf("degraded = %v, want %v (sorted union)", got.DegradedStreams, want)
+	}
+	if got.WatermarkLag != 45 {
+		t.Errorf("WatermarkLag = %d, want 45 (max over shards)", got.WatermarkLag)
+	}
+	if got.Stats.InputEvents != 160 || got.Stats.DerivedEvents != 14 || got.Stats.FluentPeriods != 7 {
+		t.Errorf("summed counters = %+v", got.Stats)
+	}
+	if got.Stats.AllocBytes != 1500 {
+		t.Errorf("AllocBytes = %d, want 1500 (summed)", got.Stats.AllocBytes)
+	}
+	if got.Stats.ResidentBytes != 7000 {
+		t.Errorf("ResidentBytes = %d, want 7000 (summed)", got.Stats.ResidentBytes)
+	}
+	if got.Stats.Elapsed != 35*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 35ms (parallel max, not sum)", got.Stats.Elapsed)
+	}
+	if got.FedEvents != 70 {
+		t.Errorf("FedEvents = %d, want 70", got.FedEvents)
+	}
+
+	if MergeReports(nil) != nil || MergeReports([]*Report{nil, nil}) != nil {
+		t.Error("merging nothing must return nil")
+	}
+	solo := MergeReports([]*Report{empty})
+	if solo == nil || len(solo.DegradedStreams) != 0 {
+		t.Errorf("single empty shard: %+v", solo)
+	}
+}
+
+// TestMergeResultsStats pins the engine-level counterpart the tier
+// leans on: MergeResults must sum the memory accounting across shard
+// results (ResidentBytes, AllocBytes) while taking the parallel max of
+// Elapsed, and an idle shard's zero-valued result must not disturb the
+// merge.
+func TestMergeResultsStats(t *testing.T) {
+	mk := func(resident, alloc uint64, elapsed time.Duration) *rtec.Result {
+		return &rtec.Result{
+			Q:      60,
+			Window: rtec.Span{Start: 1, End: 61},
+			Stats: rtec.Stats{
+				ResidentBytes: resident,
+				AllocBytes:    alloc,
+				Elapsed:       elapsed,
+			},
+		}
+	}
+	merged := rtec.MergeResults([]*rtec.Result{
+		mk(1000, 200, 5*time.Millisecond),
+		mk(3000, 100, 2*time.Millisecond),
+		mk(0, 0, 0), // idle shard
+	})
+	if merged.Stats.ResidentBytes != 4000 {
+		t.Errorf("ResidentBytes = %d, want 4000", merged.Stats.ResidentBytes)
+	}
+	if merged.Stats.AllocBytes != 300 {
+		t.Errorf("AllocBytes = %d, want 300", merged.Stats.AllocBytes)
+	}
+	if merged.Stats.Elapsed != 5*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 5ms (max)", merged.Stats.Elapsed)
+	}
+	if len(merged.Fluents) != 0 || len(merged.Derived) != 0 || len(merged.Fresh) != 0 {
+		t.Errorf("empty shards produced content: %+v", merged)
+	}
+}

@@ -489,16 +489,33 @@ func (e *Engine) Query(q Time) (*Result, error) {
 		lo = hi
 	}
 
-	// Fresh derived events: not seen at any earlier query time.
+	// Fresh derived events: not seen at any earlier query time. When
+	// the same identity (type, key, time) is derived more than once in
+	// one query with different attributes — e.g. two buses disagreeing
+	// with the same intersection at the same second — the survivor is
+	// the one with the smallest canonical attribute rendering, not
+	// whichever happened to be derived first: that makes the choice
+	// independent of derivation interleaving, so a sharded tier
+	// collapsing per-shard fresh sets picks the same survivor this
+	// single engine does (see CanonicalAttrs).
 	var fresh []Event
+	var freshIdx map[derivedID]int
 	for _, evs := range res.Derived {
 		for _, ev := range evs {
 			id := derivedID{typ: ev.Type, key: ev.Key, time: ev.Time}
-			if !e.seen[id] {
-				e.seen[id] = true
-				//lint:allow nodeterminism sortEvents below restores the total (time,type,key) order; derived identities are unique
-				fresh = append(fresh, ev)
+			if e.seen[id] {
+				if j, ok := freshIdx[id]; ok && CanonicalAttrs(ev) < CanonicalAttrs(fresh[j]) {
+					fresh[j] = ev
+				}
+				continue
 			}
+			e.seen[id] = true
+			if freshIdx == nil {
+				freshIdx = make(map[derivedID]int)
+			}
+			freshIdx[id] = len(fresh)
+			//lint:allow nodeterminism sortEvents below restores the total (time,type,key) order; surviving identities are unique
+			fresh = append(fresh, ev)
 		}
 	}
 	sortEvents(fresh)

@@ -2,7 +2,9 @@ package rtec
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 
 	"github.com/insight-dublin/insight/interval"
 )
@@ -210,6 +212,43 @@ func snapshotEvent(ev Event) (EventSnapshot, error) {
 		es.Attrs = append(es.Attrs, a)
 	}
 	return es, nil
+}
+
+// CanonicalAttrs renders an event's attributes in a canonical,
+// representation-independent form: name-sorted, each value tagged with
+// its kind, floats by their exact bit pattern. Two events carry the
+// same attributes — whether map-backed or columnar views — exactly
+// when their renderings are equal, and the rendering is totally
+// ordered, which is what the Fresh dedup paths (engine-local and
+// cross-shard) use to pick one deterministic survivor among derived
+// events sharing an identity. Events with unsupported attribute types
+// cannot be snapshotted either; they render with an error marker and
+// still compare deterministically.
+func CanonicalAttrs(ev Event) string {
+	es, err := snapshotEvent(ev)
+	if err != nil {
+		return "!" + err.Error()
+	}
+	var b strings.Builder
+	for _, a := range es.Attrs {
+		b.WriteString(a.Name)
+		b.WriteByte(0)
+		switch a.Kind {
+		case AttrFloat:
+			fmt.Fprintf(&b, "f:%016x", math.Float64bits(a.F))
+		case AttrInt64:
+			fmt.Fprintf(&b, "i:%d", a.I)
+		case AttrInt:
+			fmt.Fprintf(&b, "n:%d", a.I)
+		case AttrBool:
+			fmt.Fprintf(&b, "b:%t", a.B)
+		case AttrStr:
+			b.WriteString("s:")
+			b.WriteString(a.S)
+		}
+		b.WriteByte(0x1e)
+	}
+	return b.String()
 }
 
 // attrFromValue boxes one attribute value into its snapshot form.

@@ -1,0 +1,790 @@
+package insight
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/insight-dublin/insight/interval"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// engineTier abstracts the recognition tier behind System: the legacy
+// fixed partitioning (*rtec.Partitioned, the paper's four-region
+// split) and the N-way sharded tier (shardTier) expose the same
+// surface to the feed/evaluate/checkpoint machinery.
+type engineTier interface {
+	Input(events ...rtec.Event) error
+	InputBlockRows(b *rtec.Block, rows []int32) error
+	Query(q Time) ([]*rtec.Result, error)
+	Snapshot() ([]*rtec.EngineSnapshot, error)
+	Restore(snaps []*rtec.EngineSnapshot) error
+}
+
+// tierID is a derived-event identity for the tier-level Fresh dedup
+// (the cross-shard mirror of the engine's derivedID).
+type tierID struct {
+	typ  string
+	key  string
+	time Time
+}
+
+// Names of the tier-state pseudo-fluents inside the tier snapshot.
+// The '~' prefix cannot collide with rule names (the builder's name
+// space is plain identifiers).
+const (
+	tierSnapOverrides = "~shard/overrides"
+	tierSnapLoad      = "~shard/load"
+)
+
+// shardTier is the N-way sharded recognition tier (see DESIGN.md,
+// "Sharded recognition tier"):
+//
+//   - bus move events are routed to the shard owning the bus
+//     (rendezvous assignment + rebalance overrides); sensor and crowd
+//     SDEs are replicated to every shard;
+//   - each shard runs the shard-local rule set (traffic.BuildShard)
+//     over its own RTEC engine; shards evaluate concurrently;
+//   - a reduce engine (traffic.BuildReduce) folds the shards'
+//     busCongVote events into the city-wide busCongestion fluent, and
+//     the tier derives sourceDisagreement from the reduced fluent;
+//   - a tier-level Fresh dedup collapses identical derived events
+//     reported by different shards (e.g. two shards' buses disagreeing
+//     with the same intersection at the same second) to the same
+//     canonical survivor a single engine would keep;
+//   - skew-driven rebalancing migrates the hottest bus keys off an
+//     overloaded shard through the store-independent snapshot path.
+//
+// Not safe for concurrent use: like the engines beneath it, the tier
+// assumes one caller (the recognition processor).
+type shardTier struct {
+	wm     Time
+	reg    *traffic.Registry
+	assign *rtec.ShardMap
+	shards []*rtec.Engine
+	reduce *rtec.Engine
+
+	// sensorOwner snapshots the sensor→shard assignment for the
+	// OwnsSensor closures, which run during concurrent shard
+	// evaluation; it is rebuilt whenever overrides change (always
+	// between queries), so queries only ever read it.
+	sensorOwner map[string]int
+
+	// seen is the tier-level Fresh dedup set, pruned as identities
+	// fall out of the window.
+	seen map[tierID]bool
+
+	// keyLoad counts routed move events per bus key since the last
+	// completed skew check — the deterministic rebalance signal.
+	keyLoad map[string]int
+	// factor triggers a rebalance when the loaded shard exceeds
+	// factor × average routed moves; <= 0 disables automatic
+	// rebalancing (manual Rebalance still works).
+	factor float64
+	// minMoves is the minimum routed moves across all shards before a
+	// skew check concludes (below it, counts keep accumulating).
+	minMoves   int
+	rebalances int
+
+	// critical accumulates the modeled distributed critical path:
+	// per boundary, the slowest shard's evaluation plus the reduce
+	// evaluation (shards run in parallel, the reduce after them).
+	critical time.Duration
+
+	// serial evaluates shards one after another instead of
+	// concurrently (Config.ShardSerialEval, the shardbench measurement
+	// mode). Output is identical either way.
+	serial bool
+
+	scratch [][]int32    // per-shard row routing buffers
+	voteBuf []rtec.Event // reusable vote collection buffer
+}
+
+// newShardTier assembles n shard engines plus the reduce engine.
+func newShardTier(cfg Config, tcfg traffic.Config, reg *traffic.Registry) (*shardTier, error) {
+	n := cfg.Shards
+	assign, err := rtec.NewShardMap(n)
+	if err != nil {
+		return nil, err
+	}
+	t := &shardTier{
+		wm:          cfg.WorkingMemory,
+		reg:         reg,
+		assign:      assign,
+		shards:      make([]*rtec.Engine, n),
+		sensorOwner: make(map[string]int),
+		seen:        make(map[tierID]bool),
+		keyLoad:     make(map[string]int),
+		factor:      cfg.RebalanceFactor,
+		minMoves:    cfg.RebalanceMinMoves,
+		serial:      cfg.ShardSerialEval,
+	}
+	if t.minMoves <= 0 {
+		t.minMoves = 64 * n
+	}
+	opts := rtec.Options{
+		WorkingMemory: cfg.WorkingMemory,
+		Step:          cfg.Step,
+		Store:         cfg.Store,
+	}
+	for i := range t.shards {
+		i := i
+		defs, err := traffic.BuildShard(tcfg, traffic.ShardPlan{
+			OwnsSensor: func(sensor string) bool {
+				if o, ok := t.sensorOwner[sensor]; ok {
+					return o == i
+				}
+				// Unknown sensor: pure rendezvous fallback (no memo,
+				// safe under concurrent evaluation).
+				return rtec.RendezvousShard(sensor, n) == i
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("insight: shard %d rules: %w", i, err)
+		}
+		if t.shards[i], err = rtec.NewEngine(defs, opts); err != nil {
+			return nil, fmt.Errorf("insight: shard %d engine: %w", i, err)
+		}
+	}
+	rdefs, err := traffic.BuildReduce(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("insight: reduce rules: %w", err)
+	}
+	if t.reduce, err = rtec.NewEngine(rdefs, opts); err != nil {
+		return nil, fmt.Errorf("insight: reduce engine: %w", err)
+	}
+	t.rebuildSensorOwner()
+	return t, nil
+}
+
+func (t *shardTier) rebuildSensorOwner() {
+	for _, in := range t.reg.Intersections() {
+		for _, s := range in.Sensors {
+			t.sensorOwner[s] = t.assign.Shard(s)
+		}
+	}
+}
+
+// Input routes events: moves to the owner shard, everything else to
+// every shard (replication).
+func (t *shardTier) Input(events ...rtec.Event) error {
+	for _, ev := range events {
+		if ev.Type == traffic.MoveType {
+			t.keyLoad[ev.Key]++
+			if err := t.shards[t.assign.Shard(ev.Key)].Input(ev); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, e := range t.shards {
+			if err := e.Input(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// InputBlockRows routes the given rows of a columnar block: move blocks
+// are split per owner shard (order-preserving, like the legacy
+// partition router), replicated types go to every shard whole.
+func (t *shardTier) InputBlockRows(b *rtec.Block, rows []int32) error {
+	if b.Type != traffic.MoveType {
+		for _, e := range t.shards {
+			if err := e.InputBlockRows(b, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if t.scratch == nil {
+		t.scratch = make([][]int32, len(t.shards))
+	}
+	for i := range t.scratch {
+		t.scratch[i] = t.scratch[i][:0]
+	}
+	route := func(r int32) {
+		key := b.Key(int(r))
+		t.keyLoad[key]++
+		i := t.assign.Shard(key)
+		t.scratch[i] = append(t.scratch[i], r)
+	}
+	if rows == nil {
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			route(int32(r))
+		}
+	} else {
+		for _, r := range rows {
+			route(r)
+		}
+	}
+	for i, part := range t.scratch {
+		if len(part) == 0 {
+			continue
+		}
+		if err := t.shards[i].InputBlockRows(b, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query evaluates every shard concurrently, folds their votes through
+// the reduce engine, derives the cross-shard CEs and collapses the
+// Fresh sets. The returned slice is the per-shard results followed by
+// the reduce result; MergeResults over it is the tier's merged view.
+func (t *shardTier) Query(q Time) ([]*rtec.Result, error) {
+	if err := t.maybeRebalance(); err != nil {
+		return nil, err
+	}
+
+	results := make([]*rtec.Result, len(t.shards))
+	errs := make([]error, len(t.shards))
+	if t.serial {
+		for i, e := range t.shards {
+			results[i], errs[i] = e.Query(q)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, e := range t.shards {
+			wg.Add(1)
+			go func(i int, e *rtec.Engine) {
+				defer wg.Done()
+				results[i], errs[i] = e.Query(q)
+			}(i, e)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Strip the busCongVote plumbing out of the shard results and
+	// forward this boundary's fresh votes to the reduce engine. Vote
+	// identities are unique across shards (each bus has one owner and
+	// migration moves its dedup state along), so sorting by (time,
+	// key) makes the reduce input order independent of shard count.
+	votes := t.voteBuf[:0]
+	for _, res := range results {
+		delete(res.Derived, traffic.BusCongVote)
+		keep := res.Fresh[:0]
+		for _, ev := range res.Fresh {
+			if ev.Type == traffic.BusCongVote {
+				votes = append(votes, ev)
+			} else {
+				keep = append(keep, ev)
+			}
+		}
+		res.Fresh = keep
+	}
+	sort.Slice(votes, func(i, j int) bool {
+		if votes[i].Time != votes[j].Time {
+			return votes[i].Time < votes[j].Time
+		}
+		return votes[i].Key < votes[j].Key
+	})
+	if err := t.reduce.Input(votes...); err != nil {
+		return nil, err
+	}
+	t.voteBuf = votes[:0]
+	rres, err := t.reduce.Query(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// sourceDisagreement = busCongestion \ scatsIntCongestion, per
+	// SCATS intersection, over the window. The single-engine rule
+	// computes the complement of the un-clipped lists and clips; over
+	// the window the two are pointwise equal, and both sides are
+	// normalized interval lists, so the representations coincide.
+	scats := results[0].Fluents[traffic.ScatsIntCongestion]
+	bus := rres.Fluents[traffic.BusCongestion]
+	var sd map[rtec.KV]rtec.List
+	for _, in := range t.reg.Intersections() {
+		kv := rtec.KV{Key: in.ID, Value: rtec.TrueValue}
+		busI := bus[kv]
+		if len(busI) == 0 {
+			continue
+		}
+		scatsI := scats[kv]
+		if d := interval.RelativeComplementAll(busI, []interval.List{scatsI}); len(d) > 0 {
+			if sd == nil {
+				sd = make(map[rtec.KV]rtec.List)
+			}
+			sd[kv] = d
+		}
+	}
+	if sd != nil {
+		rres.Fluents[traffic.SourceDisagreement] = sd
+	}
+
+	t.dedupFresh(q, results)
+
+	var slowest time.Duration
+	for _, res := range results {
+		if res.Stats.Elapsed > slowest {
+			slowest = res.Stats.Elapsed
+		}
+	}
+	t.critical += slowest + rres.Stats.Elapsed
+
+	return append(results, rres), nil
+}
+
+// dedupFresh collapses same-identity derived events reported fresh by
+// several shards into the one canonical survivor (smallest
+// rtec.CanonicalAttrs) — the same choice a single engine makes among
+// same-identity derivations — and suppresses identities some shard
+// already reported at an earlier boundary (which happens when a
+// migrated bus's intersection-keyed disagreements are re-derived by
+// the new owner).
+func (t *shardTier) dedupFresh(q Time, results []*rtec.Result) {
+	type pick struct {
+		res, idx int
+		canon    string
+	}
+	best := make(map[tierID]pick)
+	for ri, res := range results {
+		for ei, ev := range res.Fresh {
+			id := tierID{typ: ev.Type, key: ev.Key, time: ev.Time}
+			if t.seen[id] {
+				continue
+			}
+			c := rtec.CanonicalAttrs(ev)
+			if p, ok := best[id]; !ok || c < p.canon {
+				best[id] = pick{res: ri, idx: ei, canon: c}
+			}
+		}
+	}
+	for ri, res := range results {
+		keep := res.Fresh[:0]
+		for ei, ev := range res.Fresh {
+			id := tierID{typ: ev.Type, key: ev.Key, time: ev.Time}
+			if t.seen[id] {
+				continue
+			}
+			if p := best[id]; p.res == ri && p.idx == ei {
+				keep = append(keep, ev)
+			}
+		}
+		res.Fresh = keep
+	}
+	for id := range best {
+		t.seen[id] = true
+	}
+	for id := range t.seen {
+		if id.time <= q-t.wm {
+			delete(t.seen, id)
+		}
+	}
+}
+
+// maybeRebalance runs the deterministic skew check: once at least
+// minMoves moves have been routed since the last check, and the most
+// loaded shard exceeds factor × the average, the hottest keys migrate
+// from it to the least loaded shard until the excess is covered.
+// Driven purely by routed-event counts — never wall-clock — so the
+// same input stream rebalances identically on every run.
+func (t *shardTier) maybeRebalance() error {
+	if t.factor <= 0 || len(t.shards) < 2 {
+		return nil
+	}
+	total := 0
+	loads := make([]int, len(t.shards))
+	for k, n := range t.keyLoad {
+		loads[t.assign.Shard(k)] += n
+		total += n
+	}
+	if total < t.minMoves {
+		return nil // keep accumulating signal
+	}
+	maxI, minI := 0, 0
+	for i, l := range loads {
+		if l > loads[maxI] {
+			maxI = i
+		}
+		if l < loads[minI] {
+			minI = i
+		}
+	}
+	avg := float64(total) / float64(len(t.shards))
+	if maxI == minI || float64(loads[maxI]) <= t.factor*avg {
+		clear(t.keyLoad)
+		return nil
+	}
+	type keyCount struct {
+		key string
+		n   int
+	}
+	var hot []keyCount
+	for k, n := range t.keyLoad {
+		if t.assign.Shard(k) == maxI {
+			hot = append(hot, keyCount{k, n})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].key < hot[j].key
+	})
+	excess := loads[maxI] - int(avg)
+	var keys []string
+	for _, h := range hot {
+		if excess <= 0 || len(keys) >= len(hot)-1 {
+			break // always leave the coldest key behind
+		}
+		keys = append(keys, h.key)
+		excess -= h.n
+	}
+	clear(t.keyLoad)
+	if len(keys) == 0 {
+		return nil
+	}
+	if err := t.migrate(keys, maxI, minI); err != nil {
+		return err
+	}
+	t.rebalances++
+	return nil
+}
+
+// RebalanceKeys migrates the given keys (bus or sensor IDs) to shard
+// `to`, wherever they currently live.
+func (t *shardTier) RebalanceKeys(keys []string, to int) error {
+	if to < 0 || to >= len(t.shards) {
+		return fmt.Errorf("insight: rebalance target shard %d out of range [0,%d)", to, len(t.shards))
+	}
+	byShard := make(map[int][]string)
+	for _, k := range keys {
+		if from := t.assign.Shard(k); from != to {
+			byShard[from] = append(byShard[from], k)
+		}
+	}
+	froms := make([]int, 0, len(byShard))
+	for from := range byShard {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	for _, from := range froms {
+		if err := t.migrate(byShard[from], from, to); err != nil {
+			return err
+		}
+	}
+	if len(byShard) > 0 {
+		t.rebalances++
+	}
+	return nil
+}
+
+// migrate moves the given keys' state from one shard to another
+// through the store-independent snapshot path: the owner-routed move
+// events, the owner-scoped fluent instances, and the dedup entries
+// keyed by a migrated key (or a vote key with a migrated bus prefix).
+// Both engines restart cold (Restore clears the splice caches), which
+// is also what makes the ownership flip safe: no cached rule output
+// computed under the old assignment survives it.
+func (t *shardTier) migrate(keys []string, from, to int) error {
+	if from == to || len(keys) == 0 {
+		return nil
+	}
+	moved := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		moved[k] = true
+	}
+	snapF, err := t.shards[from].Snapshot()
+	if err != nil {
+		return fmt.Errorf("insight: migrate: snapshot shard %d: %w", from, err)
+	}
+	snapT, err := t.shards[to].Snapshot()
+	if err != nil {
+		return fmt.Errorf("insight: migrate: snapshot shard %d: %w", to, err)
+	}
+
+	// 1. Owner-routed SDE rows: the migrated buses' move events.
+	for ti := range snapF.Types {
+		ts := &snapF.Types[ti]
+		if ts.Type != traffic.MoveType {
+			continue
+		}
+		stay := ts.Events[:0]
+		var go_ []rtec.EventSnapshot
+		for _, es := range ts.Events {
+			if moved[es.Key] {
+				go_ = append(go_, es)
+			} else {
+				stay = append(stay, es)
+			}
+		}
+		if len(go_) == 0 {
+			break
+		}
+		ts.Events = stay
+		dest := findOrAddType(snapT, traffic.MoveType)
+		dest.Events = mergeEventSnaps(dest.Events, go_)
+		if ts.LateMin < dest.LateMin {
+			// Conservative dirty floor; only the first (already cold,
+			// full-recompute) post-restore query sees it.
+			dest.LateMin = ts.LateMin
+		}
+		break
+	}
+
+	// 2. Owner-scoped fluent instances (noisy, trends, warnings).
+	scoped := make(map[string]bool)
+	for _, name := range traffic.OwnerScopedFluents() {
+		scoped[name] = true
+	}
+	for fi := range snapF.Prev {
+		fs := &snapF.Prev[fi]
+		if !scoped[fs.Name] {
+			continue
+		}
+		stay := fs.Instances[:0]
+		var go_ []rtec.InstanceSnapshot
+		for _, inst := range fs.Instances {
+			if moved[inst.Key] {
+				go_ = append(go_, inst)
+			} else {
+				stay = append(stay, inst)
+			}
+		}
+		if len(go_) == 0 {
+			continue
+		}
+		fs.Instances = stay
+		dest := findOrAddFluent(snapT, fs.Name)
+		dest.Instances = append(dest.Instances, go_...)
+		sort.Slice(dest.Instances, func(i, j int) bool {
+			a, b := dest.Instances[i], dest.Instances[j]
+			if a.Key != b.Key {
+				return a.Key < b.Key
+			}
+			return a.Value < b.Value
+		})
+	}
+
+	// 3. Fresh-dedup entries owned by a migrated key, so the new owner
+	// does not re-report the old owner's derived events.
+	staySeen := snapF.Seen[:0]
+	var goSeen []rtec.SeenEntry
+	for _, se := range snapF.Seen {
+		if moved[traffic.VoteBus(se.Key)] {
+			goSeen = append(goSeen, se)
+		} else {
+			staySeen = append(staySeen, se)
+		}
+	}
+	snapF.Seen = staySeen
+	snapT.Seen = append(snapT.Seen, goSeen...)
+
+	if err := t.shards[from].Restore(snapF); err != nil {
+		return fmt.Errorf("insight: migrate: restore shard %d: %w", from, err)
+	}
+	if err := t.shards[to].Restore(snapT); err != nil {
+		return fmt.Errorf("insight: migrate: restore shard %d: %w", to, err)
+	}
+	for _, k := range keys {
+		if err := t.assign.SetOverride(k, to); err != nil {
+			return err
+		}
+	}
+	t.rebuildSensorOwner()
+	return nil
+}
+
+func findOrAddType(snap *rtec.EngineSnapshot, typ string) *rtec.TypeSnapshot {
+	for i := range snap.Types {
+		if snap.Types[i].Type == typ {
+			return &snap.Types[i]
+		}
+	}
+	snap.Types = append(snap.Types, rtec.TypeSnapshot{Type: typ, LateMin: interval.MaxTime})
+	return &snap.Types[len(snap.Types)-1]
+}
+
+func findOrAddFluent(snap *rtec.EngineSnapshot, name string) *rtec.FluentSnapshot {
+	for i := range snap.Prev {
+		if snap.Prev[i].Name == name {
+			return &snap.Prev[i]
+		}
+	}
+	snap.Prev = append(snap.Prev, rtec.FluentSnapshot{Name: name})
+	return &snap.Prev[len(snap.Prev)-1]
+}
+
+// mergeEventSnaps merges two time-sorted event snapshot runs, existing
+// events first on time ties. Tie order is unobservable: transition and
+// vote derivation are set-semantics folds, and per-key sub-orders are
+// preserved (a bus's events only ever move together).
+func mergeEventSnaps(a, b []rtec.EventSnapshot) []rtec.EventSnapshot {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]rtec.EventSnapshot, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].Time < a[i].Time {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Snapshot captures the whole tier: every shard engine, the reduce
+// engine, and a trailing tier-state pseudo-snapshot holding the
+// cross-shard dedup set, the assignment overrides and the rebalance
+// counters — so a restored tier routes, dedups and rebalances exactly
+// like the original.
+func (t *shardTier) Snapshot() ([]*rtec.EngineSnapshot, error) {
+	out := make([]*rtec.EngineSnapshot, 0, len(t.shards)+2)
+	for i, e := range t.shards {
+		s, err := e.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("insight: shard %d: %w", i, err)
+		}
+		out = append(out, s)
+	}
+	rs, err := t.reduce.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("insight: reduce: %w", err)
+	}
+	out = append(out, rs, t.stateSnapshot())
+	return out, nil
+}
+
+func (t *shardTier) stateSnapshot() *rtec.EngineSnapshot {
+	s := &rtec.EngineSnapshot{}
+	for id := range t.seen {
+		s.Seen = append(s.Seen, rtec.SeenEntry{Type: id.typ, Key: id.key, Time: id.time})
+	}
+	sort.Slice(s.Seen, func(i, j int) bool {
+		a, b := s.Seen[i], s.Seen[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Time < b.Time
+	})
+	ovs := rtec.FluentSnapshot{Name: tierSnapOverrides}
+	for _, o := range t.assign.Overrides() {
+		ovs.Instances = append(ovs.Instances, rtec.InstanceSnapshot{Key: o.Key, Value: strconv.Itoa(o.Shard)})
+	}
+	load := rtec.FluentSnapshot{Name: tierSnapLoad}
+	loadKeys := make([]string, 0, len(t.keyLoad))
+	for k := range t.keyLoad {
+		loadKeys = append(loadKeys, k)
+	}
+	sort.Strings(loadKeys)
+	for _, k := range loadKeys {
+		load.Instances = append(load.Instances, rtec.InstanceSnapshot{Key: k, Value: strconv.Itoa(t.keyLoad[k])})
+	}
+	s.Prev = []rtec.FluentSnapshot{ovs, load}
+	return s
+}
+
+// Restore replaces the tier's state from a Snapshot: len(shards)
+// engine snapshots, the reduce snapshot, then the tier state.
+func (t *shardTier) Restore(snaps []*rtec.EngineSnapshot) error {
+	if len(snaps) != len(t.shards)+2 {
+		return fmt.Errorf("insight: %d snapshots for %d shards (+reduce, +tier state)", len(snaps), len(t.shards))
+	}
+	st := snaps[len(t.shards)+1]
+	assign, err := rtec.NewShardMap(len(t.shards))
+	if err != nil {
+		return err
+	}
+	keyLoad := make(map[string]int)
+	for _, fs := range st.Prev {
+		switch fs.Name {
+		case tierSnapOverrides:
+			for _, inst := range fs.Instances {
+				shard, err := strconv.Atoi(inst.Value)
+				if err != nil {
+					return fmt.Errorf("insight: tier snapshot override %q: %w", inst.Key, err)
+				}
+				if err := assign.SetOverride(inst.Key, shard); err != nil {
+					return err
+				}
+			}
+		case tierSnapLoad:
+			for _, inst := range fs.Instances {
+				n, err := strconv.Atoi(inst.Value)
+				if err != nil {
+					return fmt.Errorf("insight: tier snapshot load %q: %w", inst.Key, err)
+				}
+				keyLoad[inst.Key] = n
+			}
+		default:
+			return fmt.Errorf("insight: unknown tier snapshot section %q", fs.Name)
+		}
+	}
+	for i, e := range t.shards {
+		if err := e.Restore(snaps[i]); err != nil {
+			return fmt.Errorf("insight: shard %d: %w", i, err)
+		}
+	}
+	if err := t.reduce.Restore(snaps[len(t.shards)]); err != nil {
+		return fmt.Errorf("insight: reduce: %w", err)
+	}
+	t.assign = assign
+	t.keyLoad = keyLoad
+	t.seen = make(map[tierID]bool, len(st.Seen))
+	for _, se := range st.Seen {
+		t.seen[tierID{typ: se.Type, key: se.Key, time: se.Time}] = true
+	}
+	t.rebuildSensorOwner()
+	return nil
+}
+
+// Shards returns the configured shard count of the recognition tier,
+// or 0 when the system runs the legacy fixed partitioning.
+func (s *System) Shards() int {
+	if t, ok := s.engines.(*shardTier); ok {
+		return len(t.shards)
+	}
+	return 0
+}
+
+// ShardRebalances returns how many key migrations the tier has
+// performed (automatic and manual). 0 on the legacy partitioning.
+func (s *System) ShardRebalances() int {
+	if t, ok := s.engines.(*shardTier); ok {
+		return t.rebalances
+	}
+	return 0
+}
+
+// Rebalance migrates the given keys (bus or sensor IDs) to shard `to`
+// through the snapshot path. Only valid between query boundaries, and
+// only on a sharded system (Config.Shards > 0).
+func (s *System) Rebalance(keys []string, to int) error {
+	t, ok := s.engines.(*shardTier)
+	if !ok {
+		return fmt.Errorf("insight: Rebalance requires Config.Shards > 0")
+	}
+	return t.RebalanceKeys(keys, to)
+}
+
+// ShardCriticalPath returns the accumulated modeled critical path of
+// the sharded tier: per boundary, the slowest shard's evaluation time
+// plus the reduce stage (shards evaluate in parallel in a deployment,
+// the reduce after the slowest of them). 0 on the legacy partitioning.
+func (s *System) ShardCriticalPath() time.Duration {
+	if t, ok := s.engines.(*shardTier); ok {
+		return t.critical
+	}
+	return 0
+}

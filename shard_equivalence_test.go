@@ -1,0 +1,388 @@
+package insight
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/insight-dublin/insight/dublin"
+	"github.com/insight-dublin/insight/rtec"
+	"github.com/insight-dublin/insight/streams"
+	"github.com/insight-dublin/insight/traffic"
+)
+
+// shardFingerprint is ceFingerprint minus Stats.InputEvents: the
+// sharded tier replicates sensor and crowd SDEs to every shard, so its
+// engine-level input count legitimately exceeds the single-engine
+// reference. Everything recognition produces — the CE sets, alerts,
+// crowd rounds, derived and fresh events, fed-event count — must still
+// match bit for bit.
+func shardFingerprint(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Q=%d window=[%d,%d) fed=%d\n",
+		rep.Q, rep.Window.Start, rep.Window.End, rep.FedEvents)
+	fmt.Fprintf(&b, "congested=%s\n", join(rep.CongestedIntersections))
+	fmt.Fprintf(&b, "busAreas=%s\n", join(rep.BusCongestionAreas))
+	fmt.Fprintf(&b, "disagree=%s\n", join(rep.Disagreements))
+	fmt.Fprintf(&b, "warnings=%s\n", join(rep.CongestionWarnings))
+	fmt.Fprintf(&b, "unusual=%s\n", join(rep.UnusualCongestion))
+	fmt.Fprintf(&b, "noisy=%s\n", join(rep.NoisyBuses))
+	for _, a := range rep.Alerts {
+		fmt.Fprintf(&b, "alert %s|%s|%d|%s\n", a.Kind, a.Key, a.Time, a.Text)
+	}
+	for _, c := range rep.CrowdRounds {
+		fmt.Fprintf(&b, "crowd %s|%d|%s\n", c.Intersection, c.Queried, c.Verdict.Best)
+	}
+	if rep.Result != nil {
+		types := make([]string, 0, len(rep.Result.Derived))
+		for typ := range rep.Result.Derived {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			for _, ev := range rep.Result.Derived[typ] {
+				fmt.Fprintf(&b, "derived %s|%s|%d\n", ev.Type, ev.Key, ev.Time)
+			}
+		}
+		for _, ev := range rep.Result.Fresh {
+			fmt.Fprintf(&b, "fresh %s|%s|%d|%s\n", ev.Type, ev.Key, ev.Time, rtec.CanonicalAttrs(ev))
+		}
+	}
+	return b.String()
+}
+
+func compareShardReports(t *testing.T, label string, got, want []*Report) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d reports, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		gf, wf := shardFingerprint(got[i]), shardFingerprint(want[i])
+		if gf != wf {
+			t.Errorf("%s: report %d differs:\n--- sharded ---\n%s--- reference ---\n%s", label, i, gf, wf)
+		}
+	}
+}
+
+// TestShardEquivalenceGrid is the tentpole gate: the full Dublin
+// pipeline — crowdsourcing loop included, chaos dropping and
+// duplicating rows on every stream — must recognise bit-identical
+// complex events through the N-way sharded recognition tier at every
+// shard count and with either store kind, compared against the
+// single-engine reference (the legacy path with one partition).
+func TestShardEquivalenceGrid(t *testing.T) {
+	const from, until = 7 * 3600, 8 * 3600
+	const wm = Time(1800)
+
+	chaos := ChaosConfig{Streams: map[string]streams.FaultSpec{}}
+	for i, id := range []string{"bus", "scats-central", "scats-north", "scats-west", "scats-south"} {
+		chaos.Streams[id] = streams.FaultSpec{
+			Seed:     300 + int64(i)*11,
+			DropProb: 0.06,
+			DupProb:  0.06,
+		}
+	}
+
+	city := testCity(t)
+	run := func(shards int, kind rtec.StoreKind) []*Report {
+		t.Helper()
+		sys, err := New(Config{
+			City:              city,
+			Seed:              7,
+			WorkingMemory:     wm,
+			Step:              wm / 2,
+			Partitions:        1, // single-engine reference when Shards == 0
+			Shards:            shards,
+			Store:             kind,
+			Participants:      testParticipants(city, 8),
+			ColumnarTransport: true,
+			UnpacedReplay:     true,
+			Traffic: traffic.Config{
+				NoisyPolicy: traffic.Pessimistic,
+				Adaptive:    true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := sys.BuildChaosPipeline(from, until, chaos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := pipe.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dropped, duplicated := 0, 0
+		for _, cs := range pipe.Chaos {
+			dropped += cs.Stats().Dropped
+			duplicated += cs.Stats().Duplicated
+		}
+		if dropped == 0 || duplicated == 0 {
+			t.Fatalf("chaos injected %d drops, %d dups: fault injection inert", dropped, duplicated)
+		}
+		return reports
+	}
+
+	reference := run(0, rtec.StoreRow)
+	if len(reference) == 0 {
+		t.Fatal("reference run produced no reports")
+	}
+	nonEmpty := false
+	for _, rep := range reference {
+		if len(rep.CongestedIntersections) > 0 || len(rep.BusCongestionAreas) > 0 {
+			nonEmpty = true
+		}
+	}
+	if !nonEmpty {
+		t.Fatal("reference run recognised nothing: grid is vacuous")
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, kind := range []rtec.StoreKind{rtec.StoreRow, rtec.StoreColumn} {
+			t.Run(fmt.Sprintf("shards=%d/store=%v", n, kind), func(t *testing.T) {
+				compareShardReports(t, fmt.Sprintf("%d shards vs single engine", n),
+					run(n, kind), reference)
+			})
+		}
+	}
+}
+
+// TestShardRebalanceDeterminism pins the migration path: a run that
+// migrates live bus and sensor keys between shards mid-window must
+// produce bit-identical reports to the same run without any
+// rebalancing — no derived event dropped or duplicated across the
+// ownership flip.
+func TestShardRebalanceDeterminism(t *testing.T) {
+	const from, until = Time(7 * 3600), Time(9 * 3600)
+	const step = Time(900)
+	city := testCity(t)
+
+	mk := func() *System {
+		t.Helper()
+		sys, err := New(Config{
+			City:          city,
+			Seed:          7,
+			WorkingMemory: 1800,
+			Step:          step,
+			Shards:        4,
+			Store:         rtec.StoreColumn,
+			Traffic: traffic.Config{
+				NoisyPolicy: traffic.Pessimistic,
+				Adaptive:    true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	var base []*Report
+	sys := mk()
+	if err := sys.Run(context.Background(), from, until, func(r *Report) error {
+		base = append(base, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := sys.ShardRebalances(); n != 0 {
+		t.Fatalf("base run rebalanced %d times; automatic rebalancing should be off", n)
+	}
+
+	// Same run, but halfway through, three live buses and two live
+	// sensors migrate to the shard after their current one.
+	var keys []string
+	for _, b := range city.Buses()[:3] {
+		keys = append(keys, b.ID)
+	}
+	for _, s := range city.Sensors()[:2] {
+		keys = append(keys, s.ID)
+	}
+	sys2 := mk()
+	sys2.Start(from, until)
+	var moved []*Report
+	mid := from + (until-from)/2
+	for q := from + step; q <= until; q += step {
+		rep, err := sys2.Step(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved = append(moved, rep)
+		if q == mid {
+			to := (rtec.RendezvousShard(keys[0], 4) + 1) % 4
+			if err := sys2.Rebalance(keys, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n := sys2.ShardRebalances(); n < 1 {
+		t.Fatalf("rebalances = %d, want >= 1", n)
+	}
+	for _, rep := range moved {
+		if len(rep.DegradedStreams) > 0 {
+			t.Errorf("q=%d: degraded streams %v after rebalance", rep.Q, rep.DegradedStreams)
+		}
+	}
+	compareShardReports(t, "rebalanced vs unrebalanced", moved, base)
+}
+
+// TestShardAutoRebalancePipeline runs the live columnar pipeline with
+// aggressive automatic skew-driven rebalancing and checks that (a) the
+// tier actually migrates keys, (b) no input stream degrades, and (c)
+// recognition stays bit-identical to the single-engine reference even
+// while keys move between shards during the run.
+func TestShardAutoRebalancePipeline(t *testing.T) {
+	const from, until = 7 * 3600, 8 * 3600
+	city := testCity(t)
+
+	run := func(shards int, factor float64) ([]*Report, *System) {
+		t.Helper()
+		sys, err := New(Config{
+			City:              city,
+			Seed:              7,
+			WorkingMemory:     1800,
+			Step:              900,
+			Partitions:        1,
+			Shards:            shards,
+			RebalanceFactor:   factor,
+			RebalanceMinMoves: 40,
+			Store:             rtec.StoreColumn,
+			ColumnarTransport: true,
+			UnpacedReplay:     true,
+			Traffic: traffic.Config{
+				NoisyPolicy: traffic.Pessimistic,
+				Adaptive:    true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := sys.BuildPipeline(from, until)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := pipe.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports, sys
+	}
+
+	reference, _ := run(0, 0)
+	rebalanced, sys := run(4, 1.01)
+	if n := sys.ShardRebalances(); n < 1 {
+		t.Fatalf("rebalances = %d, want >= 1: skew trigger inert", n)
+	}
+	for _, rep := range rebalanced {
+		if len(rep.DegradedStreams) > 0 {
+			t.Errorf("q=%d: degraded streams %v", rep.Q, rep.DegradedStreams)
+		}
+	}
+	compareShardReports(t, "auto-rebalanced vs single engine", rebalanced, reference)
+}
+
+// TestShardTierSnapshotRoundTrip checks the tier's own checkpoint
+// surface: snapshotting a sharded system mid-run — rebalance overrides
+// and all — and restoring it into a fresh system (with the other store
+// kind) must continue bit-identically with the original.
+func TestShardTierSnapshotRoundTrip(t *testing.T) {
+	const from, until = Time(7 * 3600), Time(9 * 3600)
+	const step = Time(900)
+	city := testCity(t)
+
+	var sdes []dublin.SDE
+	gen := city.Stream(from, until)
+	for {
+		sde, ok := gen.Next()
+		if !ok {
+			break
+		}
+		sdes = append(sdes, sde)
+	}
+
+	mk := func(kind rtec.StoreKind) *System {
+		t.Helper()
+		sys, err := New(Config{
+			City:          city,
+			Seed:          7,
+			WorkingMemory: 1800,
+			Step:          step,
+			Shards:        3,
+			Store:         kind,
+			Traffic: traffic.Config{
+				NoisyPolicy: traffic.Pessimistic,
+				Adaptive:    true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	sysA := mk(rtec.StoreColumn)
+	sysA.StartReplay(sdes)
+	mid := from + 4*step
+	for q := from + step; q <= mid; q += step {
+		if _, err := sysA.Step(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+		if q == from+2*step {
+			// Make the tier state non-trivial before the checkpoint.
+			if err := sysA.Rebalance([]string{city.Buses()[0].ID}, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snaps, err := sysA.engines.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 + 2; len(snaps) != want {
+		t.Fatalf("tier snapshot has %d parts, want %d (shards + reduce + tier state)", len(snaps), want)
+	}
+
+	sysB := mk(rtec.StoreRow) // snapshots are store-independent
+	if err := sysB.engines.Restore(snaps); err != nil {
+		t.Fatal(err)
+	}
+	var tail []dublin.SDE
+	for _, sde := range sdes {
+		if sde.Arrival > mid {
+			tail = append(tail, sde)
+		}
+	}
+	sysB.StartReplay(tail)
+
+	var repA, repB []*Report
+	for q := mid + step; q <= until; q += step {
+		ra, err := sysA.Step(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := sysB.Step(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repA = append(repA, ra)
+		repB = append(repB, rb)
+	}
+	nonEmpty := false
+	for _, rep := range repA {
+		if len(rep.CongestedIntersections) > 0 {
+			nonEmpty = true
+		}
+	}
+	if !nonEmpty {
+		t.Fatal("post-checkpoint run recognised nothing: round-trip is vacuous")
+	}
+	compareShardReports(t, "restored vs original", repB, repA)
+
+	// A wrong-arity restore must be rejected.
+	if err := sysB.engines.Restore(snaps[:3]); err == nil {
+		t.Error("restore with missing snapshots must error")
+	}
+}

@@ -167,6 +167,27 @@ func Build(cfg Config) (*rtec.Definitions, error) {
 // fluents. The extension hook runs after every library definition has
 // been added.
 func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error) {
+	return buildRules(cfg, nil, extend)
+}
+
+// buildRules is the shared builder behind Build/BuildWith (plan nil:
+// the single-engine rule set, unchanged) and BuildShard (plan set: the
+// shard-local variant — see shard.go for the decomposition contract).
+// With a plan, three things change and nothing else:
+//
+//   - per-sensor fluents (flowTrend, densityTrend, congestionInTheMake)
+//     are computed only for sensors the plan owns — every shard sees
+//     all replicated traffic readings, but each sensor's fluent
+//     instances must live in exactly one shard;
+//   - busCongestion is replaced by the busCongVote event rule: the same
+//     per-move proximity matches, emitted as vote events for the reduce
+//     stage to fold instead of as local transitions (an area aggregates
+//     buses owned by different shards, so no single shard can run the
+//     fluent);
+//   - sourceDisagreement is omitted: it reads busCongestion, which only
+//     exists after the reduce stage; the tier computes it from the
+//     reduced busCongestion and the (shard-identical) scatsIntCongestion.
+func buildRules(cfg Config, plan *ShardPlan, extend func(*rtec.Builder)) (*rtec.Definitions, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("traffic: Config.Registry is required")
@@ -422,57 +443,99 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 	if cfg.Adaptive {
 		busInputs = append(busInputs, Noisy)
 	}
-	b.Simple(rtec.SimpleFluent{
-		Name:     BusCongestion,
-		Inputs:   busInputs,
-		Locality: rtec.Pointwise(), // move event at T (and, if Adaptive, noisy at T)
-		Transitions: func(ctx *rtec.Context) []rtec.Transition {
-			var out []rtec.Transition
-			rows := ctx.Rows(MoveType)
-			for i := 0; i < rows.Len(); i++ {
-				e := rows.At(i)
-				if cfg.Adaptive && ctx.HoldsAt(Noisy, e.Key, e.Time) {
-					continue // rule-set (3′): discard unreliable buses
-				}
-				pos, ok := eventPos(e)
-				if !ok {
-					continue
-				}
-				congested, _ := e.Bool("congested")
-				for _, a := range areas.CloseTo(pos) {
-					if congested {
-						out = append(out, rtec.InitiateAt(a.ID, e.Time))
-					} else {
-						out = append(out, rtec.TerminateAt(a.ID, e.Time))
+	if plan == nil {
+		b.Simple(rtec.SimpleFluent{
+			Name:     BusCongestion,
+			Inputs:   busInputs,
+			Locality: rtec.Pointwise(), // move event at T (and, if Adaptive, noisy at T)
+			Transitions: func(ctx *rtec.Context) []rtec.Transition {
+				var out []rtec.Transition
+				rows := ctx.Rows(MoveType)
+				for i := 0; i < rows.Len(); i++ {
+					e := rows.At(i)
+					if cfg.Adaptive && ctx.HoldsAt(Noisy, e.Key, e.Time) {
+						continue // rule-set (3′): discard unreliable buses
+					}
+					pos, ok := eventPos(e)
+					if !ok {
+						continue
+					}
+					congested, _ := e.Bool("congested")
+					for _, a := range areas.CloseTo(pos) {
+						if congested {
+							out = append(out, rtec.InitiateAt(a.ID, e.Time))
+						} else {
+							out = append(out, rtec.TerminateAt(a.ID, e.Time))
+						}
 					}
 				}
-			}
-			return out
-		},
-	})
+				return out
+			},
+		})
+	} else {
+		// Sharded: the identical per-move area matches, emitted as vote
+		// EVENTS keyed (bus, area) instead of fluent transitions. A vote
+		// time equals its move time, so the reduce engine's transition
+		// set over any window equals the transition set the single-engine
+		// fluent computes over that window — interval construction is
+		// order- and duplicate-insensitive, which makes the fold exact.
+		b.Event(rtec.EventRule{
+			Name:     BusCongVote,
+			Inputs:   busInputs,
+			Locality: rtec.Pointwise(),
+			Derive: func(ctx *rtec.Context) []rtec.Event {
+				var out []rtec.Event
+				rows := ctx.Rows(MoveType)
+				for i := 0; i < rows.Len(); i++ {
+					e := rows.At(i)
+					if cfg.Adaptive && ctx.HoldsAt(Noisy, e.Key, e.Time) {
+						continue // rule-set (3′): discard unreliable buses
+					}
+					pos, ok := eventPos(e)
+					if !ok {
+						continue
+					}
+					congested, _ := e.Bool("congested")
+					for _, a := range areas.CloseTo(pos) {
+						out = append(out, rtec.NewEvent(BusCongVote, e.Time, VoteKey(e.Key, a.ID), map[string]any{
+							"area":      a.ID,
+							"congested": congested,
+						}))
+					}
+				}
+				return out
+			},
+		})
+	}
 
 	// --- sourceDisagreement ---------------------------------------------
 	// holdsFor(sourceDisagreement(Int)=true, I) ←
 	//   relative_complement_all(busCongestion(Int), [scatsIntCongestion(Int)]).
-	// Computed only for the locations of SCATS intersections.
-	b.Static(rtec.StaticFluent{
-		Name:   SourceDisagreement,
-		Inputs: []string{BusCongestion, ScatsIntCongestion},
-		HoldsFor: func(ctx *rtec.Context) map[rtec.KV]rtec.IntervalList {
-			out := make(map[rtec.KV]rtec.IntervalList)
-			for _, in := range reg.Intersections() {
-				busI := ctx.Intervals(BusCongestion, in.ID)
-				if len(busI) == 0 {
-					continue
+	// Computed only for the locations of SCATS intersections. Sharded
+	// builds omit it: busCongestion only exists after the reduce stage,
+	// so the tier computes the relative complement itself from the
+	// reduced fluent (the pointwise identity makes that exact — see
+	// DESIGN.md, "Sharded recognition tier").
+	if plan == nil {
+		b.Static(rtec.StaticFluent{
+			Name:   SourceDisagreement,
+			Inputs: []string{BusCongestion, ScatsIntCongestion},
+			HoldsFor: func(ctx *rtec.Context) map[rtec.KV]rtec.IntervalList {
+				out := make(map[rtec.KV]rtec.IntervalList)
+				for _, in := range reg.Intersections() {
+					busI := ctx.Intervals(BusCongestion, in.ID)
+					if len(busI) == 0 {
+						continue
+					}
+					scatsI := ctx.Intervals(ScatsIntCongestion, in.ID)
+					if d := interval.RelativeComplementAll(busI, []interval.List{scatsI}); len(d) > 0 {
+						out[rtec.KV{Key: in.ID, Value: rtec.TrueValue}] = d
+					}
 				}
-				scatsI := ctx.Intervals(ScatsIntCongestion, in.ID)
-				if d := interval.RelativeComplementAll(busI, []interval.List{scatsI}); len(d) > 0 {
-					out[rtec.KV{Key: in.ID, Value: rtec.TrueValue}] = d
-				}
-			}
-			return out
-		},
-	})
+				return out
+			},
+		})
+	}
 
 	// --- delayIncrease ----------------------------------------------------
 	// Recognised when the delay of a bus grows by more than d seconds
@@ -533,6 +596,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 			Transitions: func(ctx *rtec.Context) []rtec.Transition {
 				var out []rtec.Transition
 				for _, sensor := range ctx.EventKeys(TrafficType) {
+					if plan != nil && !plan.OwnsSensor(sensor) {
+						continue // sharded: the owner shard computes this sensor's trend
+					}
 					evs := ctx.RowsForKey(TrafficType, sensor)
 					for i := 1; i < evs.Len(); i++ {
 						prev, _ := evs.At(i - 1).Float(attr)
@@ -598,6 +664,9 @@ func BuildWith(cfg Config, extend func(*rtec.Builder)) (*rtec.Definitions, error
 			rows := ctx.Rows(TrafficType)
 			for i := 0; i < rows.Len(); i++ {
 				e := rows.At(i)
+				if plan != nil && !plan.OwnsSensor(e.Key) {
+					continue // sharded: the owner shard computes this sensor's warning
+				}
 				d, _ := e.Float("density")
 				f, _ := e.Float("flow")
 				congested := d >= cfg.DensityThreshold && f <= cfg.FlowThreshold
