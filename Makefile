@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover bench lint check chaos bench-rtec bench-delay bench-gp bench-recovery bench-shard fuzz-short figures experiments clean
+.PHONY: all build vet test test-short race cover bench lint lint-json check chaos bench-rtec bench-delay bench-gp bench-recovery bench-shard fuzz-short figures experiments clean
 
 all: build vet test
 
@@ -33,6 +33,10 @@ bench:
 # deliberate violation at the site with `//lint:allow rule reason`.
 lint:
 	$(GO) run ./cmd/insightlint
+
+# Same suite, findings as a machine-readable JSON document on stdout.
+lint-json:
+	$(GO) run ./cmd/insightlint -json
 
 # CI gate: vet everything, run the repo's own analyzer suite, run the
 # full module under the race detector (engine, rule sets, streams

@@ -11,7 +11,11 @@
 //
 // Usage:
 //
-//	insightlint [-only rule,rule] [-skip rule,rule] [-list] [-C dir]
+//	insightlint [-only rule,rule] [-skip rule,rule] [-list] [-json] [-C dir]
+//
+// With -json the findings are printed as one JSON document on stdout
+// (file/line/col/rule/message per finding, plus per-rule counts) for
+// tooling; the exit status is unchanged.
 //
 // Suppress an individual finding with a trailing or preceding comment
 //
@@ -23,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +40,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated list: run only these analyzers")
 	skip := flag.String("skip", "", "comma-separated list: skip these analyzers")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	asJSON := flag.Bool("json", false, "print findings as a JSON document on stdout")
 	dir := flag.String("C", ".", "module root (or any directory inside it)")
 	flag.Parse()
 
@@ -45,13 +51,31 @@ func main() {
 		return
 	}
 
-	if err := run(*dir, *only, *skip); err != nil {
+	if err := run(*dir, *only, *skip, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "insightlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(dir, only, skip string) error {
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -json document: the run's shape, the findings in
+// the same order the text mode prints them, and per-rule counts.
+type jsonReport struct {
+	Packages  int            `json:"packages"`
+	Analyzers []string       `json:"analyzers"`
+	Findings  []jsonFinding  `json:"findings"`
+	Counts    map[string]int `json:"counts"`
+}
+
+func run(dir, only, skip string, asJSON bool) error {
 	analyzers, err := analysis.Select(only, skip)
 	if err != nil {
 		return err
@@ -72,13 +96,38 @@ func run(dir, only, skip string) error {
 		return err
 	}
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
+	for i := range diags {
 		// Module-root-relative paths keep the output stable across
 		// checkouts (and clickable from the repo root).
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if asJSON {
+		report := jsonReport{
+			Packages: len(pkgs),
+			Findings: []jsonFinding{},
+			Counts:   make(map[string]int),
+		}
+		for _, a := range analyzers {
+			report.Analyzers = append(report.Analyzers, a.Name)
+		}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+			report.Counts[d.Rule]++
+		}
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "insightlint: %d packages, %d analyzers, %d findings\n",
 		len(pkgs), len(analyzers), len(diags))

@@ -243,7 +243,6 @@ func RunCrashCampaign(ctx context.Context, opts CampaignOptions) (*CampaignResul
 		if err != nil {
 			return nil, fmt.Errorf("insight: epoch %d (%s) recovery: %w", len(res.Epochs), fault, err)
 		}
-		//lint:allow nodeterminism recovery timing feeds only the benchmark report, never a result
 		recoveryMillis := float64(time.Since(t0)) / float64(time.Millisecond)
 		_, runErr := pipe.Run(ctx)
 		// The collector survives the crash (the "operator" saw these

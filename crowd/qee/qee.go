@@ -279,7 +279,9 @@ func (e *Engine) sample(mean time.Duration) time.Duration {
 }
 
 func (e *Engine) sampleTrigger() time.Duration {
-	lo, hi := e.profile.TriggerMin, e.profile.TriggerMax
+	// profile is write-once at construction; the mutex below guards rng,
+	// not the profile reads.
+	lo, hi := e.profile.TriggerMin, e.profile.TriggerMax //lint:allow lockguard profile is immutable after New
 	if hi <= lo {
 		return lo
 	}

@@ -30,9 +30,9 @@ import (
 // Server renders the operator dashboard. Create with New, feed with
 // Update/UpdateFlows, mount with Handler.
 type Server struct {
-	city        *dublin.City
-	registry    *traffic.Registry
-	interVertex map[string]int // intersection ID -> street-graph vertex
+	city        *dublin.City      //state:transient render-only config, injected at construction
+	registry    *traffic.Registry //state:transient render-only config, injected at construction
+	interVertex map[string]int    //state:derived intersection ID -> street-graph vertex, built in New
 
 	mu     sync.RWMutex
 	report *insight.Report

@@ -76,6 +76,10 @@ var All = []*Analyzer{
 	LockCopy,
 	ItemAlias,
 	ErrDrop,
+	SnapshotDrift,
+	LockGuard,
+	DurOrder,
+	StaleLint,
 }
 
 // Select resolves -only/-skip comma-separated rule lists against All.
@@ -138,13 +142,39 @@ func Names() []string {
 // file, line, column and rule — byte-stable across runs, which is
 // itself one of the invariants the suite enforces.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// stalelint is framework-driven: it judges the suppressor state left
+	// behind by every other selected analyzer, so it runs after them
+	// rather than through its own Pass (see stalelint.go).
+	ran := make(map[string]bool)
+	runStale := false
+	for _, a := range analyzers {
+		if a.Name == StaleLint.Name {
+			runStale = true
+		} else {
+			ran[a.Name] = true
+		}
+	}
+	known := make(map[string]bool, len(All))
+	for _, a := range All {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		sup := newSuppressor(pkg)
 		for _, a := range analyzers {
+			if a.Name == StaleLint.Name {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			a.Run(pass)
 			for _, d := range pass.diags {
+				if !sup.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+		if runStale {
+			for _, d := range staleDiags(sup, ran, known) {
 				if !sup.suppressed(d) {
 					out = append(out, d)
 				}
@@ -162,7 +192,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return out
 }

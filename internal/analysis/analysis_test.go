@@ -61,30 +61,41 @@ func render(diags []Diagnostic) string {
 }
 
 // goldenCases maps each analyzer to its fixture directory and the
-// import path it is loaded under. The import paths for nodeterminism
-// and hotalloc end in suffixes that match those analyzers' package
-// gates ("rtec", "internal/linalg").
+// import path it is loaded under. The import paths for nodeterminism,
+// hotalloc and durorder end in suffixes that match those analyzers'
+// package gates ("rtec", "internal/linalg", "wal"). A case may run a
+// wider analyzer set than the one it is named for: stalelint only
+// judges rules whose analyzers ran, so its golden runs All.
 var goldenCases = []struct {
 	analyzer   *Analyzer
 	dir        string
 	importPath string
+	analyzers  []*Analyzer // defaults to just analyzer
 }{
-	{NoDeterminism, "nodeterminism", "fixture/rtec"},
-	{GoroutineLeak, "goroutineleak", "fixture/goroutineleak"},
-	{HotAlloc, "hotalloc", "fixture/internal/linalg"},
-	{HotAlloc, "hotalloc_batch", "fixture/streams"},
-	{HotAlloc, "hotalloc_colstore", "fixture/colstore/rtec"},
-	{FloatEq, "floateq", "fixture/floateq"},
-	{LockCopy, "lockcopy", "fixture/lockcopy"},
-	{ItemAlias, "itemalias", "fixture/itemalias"},
-	{ErrDrop, "errdrop", "fixture/streams/wal"},
+	{NoDeterminism, "nodeterminism", "fixture/rtec", nil},
+	{GoroutineLeak, "goroutineleak", "fixture/goroutineleak", nil},
+	{HotAlloc, "hotalloc", "fixture/internal/linalg", nil},
+	{HotAlloc, "hotalloc_batch", "fixture/streams", nil},
+	{HotAlloc, "hotalloc_colstore", "fixture/colstore/rtec", nil},
+	{FloatEq, "floateq", "fixture/floateq", nil},
+	{LockCopy, "lockcopy", "fixture/lockcopy", nil},
+	{ItemAlias, "itemalias", "fixture/itemalias", nil},
+	{ErrDrop, "errdrop", "fixture/streams/wal", nil},
+	{SnapshotDrift, "snapshotdrift", "fixture/snapshotdrift", nil},
+	{LockGuard, "lockguard", "fixture/lockguard", nil},
+	{DurOrder, "durorder", "fixture/durorder/wal", nil},
+	{StaleLint, "stalelint", "fixture/stalelint", All},
 }
 
 func TestAnalyzerGolden(t *testing.T) {
 	for _, tc := range goldenCases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
 			pkg := loadFixture(t, tc.dir, tc.importPath)
-			got := render(Run([]*Package{pkg}, []*Analyzer{tc.analyzer}))
+			analyzers := tc.analyzers
+			if analyzers == nil {
+				analyzers = []*Analyzer{tc.analyzer}
+			}
+			got := render(Run([]*Package{pkg}, analyzers))
 			goldenPath := filepath.Join("testdata", tc.dir, "expected.txt")
 			if *update {
 				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
@@ -119,6 +130,12 @@ func TestSuppression(t *testing.T) {
 		{GoroutineLeak, "goroutineleak", "fixture/goroutineleak", []string{"fixture.go:87:"}},
 		// Doc-comment allow covering the whole Allowed declaration.
 		{LockCopy, "lockcopy", "fixture/lockcopy", []string{"fixture.go:56:"}},
+		// Same-line allow on the quiet.y field declaration.
+		{SnapshotDrift, "snapshotdrift", "fixture/snapshotdrift", []string{"fixture.go:76:"}},
+		// Same-line allow on the racy read in counter.Peek.
+		{LockGuard, "lockguard", "fixture/lockguard", []string{"fixture.go:41:"}},
+		// Same-line allow on the early forward in sink.lossyForward.
+		{DurOrder, "durorder", "fixture/durorder/wal", []string{"fixture.go:33:"}},
 	}
 	for _, tc := range cases {
 		pkg := loadFixture(t, tc.dir, tc.importPath)

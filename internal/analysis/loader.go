@@ -13,8 +13,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package: the unit every analyzer
@@ -251,23 +253,12 @@ type importerFunc func(path string) (*types.Package, error)
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // newStdImporter builds the standard-library importer. The fast path
-// asks the go command for the compiled export data of every std
-// package (built on demand into the build cache) and feeds it to the
-// gc importer; if the go command is not available it falls back to the
-// source importer, which type-checks the standard library from GOROOT
+// feeds the compiled export data of every std package to the gc
+// importer; if no export data can be found it falls back to the source
+// importer, which type-checks the standard library from GOROOT
 // sources.
 func newStdImporter(fset *token.FileSet) types.Importer {
-	out, err := exec.Command("go", "list", "-export", "-e", "-f", "{{.ImportPath}}={{.Export}}", "std").Output()
-	if err != nil {
-		return importer.ForCompiler(fset, "source", nil)
-	}
-	exports := make(map[string]string)
-	for _, line := range strings.Split(string(bytes.TrimSpace(out)), "\n") {
-		ip, file, ok := strings.Cut(line, "=")
-		if ok && file != "" {
-			exports[ip] = file
-		}
-	}
+	exports := stdExportMap()
 	if len(exports) == 0 {
 		return importer.ForCompiler(fset, "source", nil)
 	}
@@ -279,6 +270,104 @@ func newStdImporter(fset *token.FileSet) types.Importer {
 		return os.Open(file)
 	}
 	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// The import-path -> export-file map for the standard library is
+// immutable for a given toolchain, but discovering it means running
+// `go list -export -e std` — around 0.3s, which used to dominate
+// insightlint's wall time. It is now resolved once per process and
+// memoised on disk across processes, keyed by toolchain version and
+// platform; every cached file path is stat-validated so a pruned build
+// cache or toolchain upgrade transparently falls back to a fresh scan.
+var (
+	stdExportsOnce sync.Once
+	stdExports     map[string]string
+)
+
+// stdExportMap returns the stdlib export-data map, or nil when the go
+// command is unavailable (callers then use the source importer).
+func stdExportMap() map[string]string {
+	stdExportsOnce.Do(func() {
+		path := stdExportsCachePath()
+		if m := readStdExportsCache(path); m != nil {
+			stdExports = m
+			return
+		}
+		out, err := exec.Command("go", "list", "-export", "-e", "-f", "{{.ImportPath}}={{.Export}}", "std").Output()
+		if err != nil {
+			return
+		}
+		m := parseStdExports(out)
+		if len(m) == 0 {
+			return
+		}
+		writeStdExportsCache(path, out)
+		stdExports = m
+	})
+	return stdExports
+}
+
+// stdExportsCachePath names the per-toolchain on-disk cache file.
+func stdExportsCachePath() string {
+	name := fmt.Sprintf("insightlint-std-exports-%s-%s-%s.txt",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return filepath.Join(os.TempDir(), name)
+}
+
+// parseStdExports decodes `go list -export` output ("path=exportfile"
+// per line); packages without export data (empty right side) are
+// dropped.
+func parseStdExports(out []byte) map[string]string {
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(bytes.TrimSpace(out)), "\n") {
+		ip, file, ok := strings.Cut(line, "=")
+		if ok && file != "" {
+			exports[ip] = file
+		}
+	}
+	return exports
+}
+
+// readStdExportsCache loads and validates a cached export map. Any
+// missing export file invalidates the whole cache: the build cache was
+// pruned and `go list -export` must rebuild it.
+func readStdExportsCache(path string) map[string]string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	m := parseStdExports(data)
+	if len(m) == 0 {
+		return nil
+	}
+	for _, file := range m {
+		if _, err := os.Stat(file); err != nil {
+			return nil
+		}
+	}
+	return m
+}
+
+// writeStdExportsCache persists the raw `go list` output atomically
+// (temp file + rename) so concurrent lint runs never observe a torn
+// cache. Failures are ignored: the cache is an optimisation only.
+func writeStdExportsCache(path string, out []byte) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
 }
 
 // FindModuleRoot walks upward from dir to the nearest directory

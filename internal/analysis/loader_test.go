@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseStdExports(t *testing.T) {
+	out := []byte("fmt=/cache/fmt.a\nnoexport=\nio=/cache/io.a\n")
+	m := parseStdExports(out)
+	if len(m) != 2 || m["fmt"] != "/cache/fmt.a" || m["io"] != "/cache/io.a" {
+		t.Fatalf("parseStdExports = %v", m)
+	}
+	if _, ok := m["noexport"]; ok {
+		t.Fatal("package without export data kept in the map")
+	}
+}
+
+// TestReadStdExportsCacheValidation checks a cache entry pointing at a
+// pruned export file invalidates the whole cache, while a cache whose
+// files all exist round-trips.
+func TestReadStdExportsCacheValidation(t *testing.T) {
+	dir := t.TempDir()
+	real := filepath.Join(dir, "fmt.a")
+	if err := os.WriteFile(real, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte("fmt="+real+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m := readStdExportsCache(good); m == nil || m["fmt"] != real {
+		t.Fatalf("valid cache rejected: %v", m)
+	}
+
+	stale := filepath.Join(dir, "stale.txt")
+	content := "fmt=" + real + "\nio=" + filepath.Join(dir, "gone.a") + "\n"
+	if err := os.WriteFile(stale, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m := readStdExportsCache(stale); m != nil {
+		t.Fatalf("cache with a pruned export file accepted: %v", m)
+	}
+
+	if m := readStdExportsCache(filepath.Join(dir, "missing.txt")); m != nil {
+		t.Fatalf("missing cache file accepted: %v", m)
+	}
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the lockguard analyzer: a named mutex, an
+// embedded RWMutex, the *Locked naming convention, a below-threshold
+// field and a suppressed finding.
+package fixture
+
+import "sync"
+
+// counter guards n with mu in most methods; the stragglers are the
+// findings.
+type counter struct {
+	mu  sync.Mutex
+	n   int    // guarded in Add/Get/resetLocked, unguarded in Racy and Peek
+	tag string // never guarded: no majority, no findings
+}
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Racy reads n outside the lock: finding.
+func (c *counter) Racy() int { return c.n }
+
+func (c *counter) Name() string { return c.tag }
+
+func (c *counter) SetName(s string) { c.tag = s }
+
+// resetLocked runs under the caller's lock by convention: its access
+// counts as guarded.
+func (c *counter) resetLocked() { c.n = 0 }
+
+// Peek is a deliberate dirty read under a justification.
+func (c *counter) Peek() int {
+	return c.n //lint:allow lockguard deliberate racy peek for the fixture
+}
+
+// Window releases the lock midway: the access after Unlock is outside
+// the window and below it the inline unlock path is exercised.
+func (c *counter) Window() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // second read outside the window: finding
+}
+
+// rw embeds its RWMutex; promoted Lock/RLock calls must count.
+type rw struct {
+	sync.RWMutex
+	m map[string]int
+}
+
+func (r *rw) Load(k string) int {
+	r.RLock()
+	defer r.RUnlock()
+	return r.m[k]
+}
+
+func (r *rw) Store(k string, v int) {
+	r.Lock()
+	defer r.Unlock()
+	r.m[k] = v
+}
+
+// Purge drops the map without the lock: finding.
+func (r *rw) Purge() { r.m = nil }

@@ -1,0 +1,35 @@
+// Package fixture exercises suppressor edge cases: multi-rule allow
+// lines (fully and partially live), a doc-comment allow spanning a
+// var declaration group, and allows inside a generated file (see
+// generated.go).
+package fixture
+
+import "sync"
+
+// padlock carries a mutex so by-value receivers trip lockcopy.
+type padlock struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Same trips floateq and lockcopy on one line; the multi-rule allow
+// covers both, so neither half is stale.
+func (p padlock) Same(a, b float64) bool { return a == b } //lint:allow floateq,lockcopy fixture: both halves live
+
+// Cmp names two rules but only violates one: the lockcopy half of the
+// allow is stale.
+func Cmp(a, b float64) bool {
+	return a == b //lint:allow floateq,lockcopy fixture: the lockcopy half is dead
+}
+
+var lhs, rhs float64
+
+// The whole group compares exactly on purpose; the doc-comment allow
+// must reach every spec, including ones past line-above range.
+//
+//lint:allow floateq fixture: group-wide sanctioned exact comparisons
+var (
+	eqFwd = lhs == rhs
+
+	eqRev = rhs == lhs
+)

@@ -148,6 +148,266 @@ func declaredOutside(info *types.Info, id *ast.Ident, from, to ast.Node) bool {
 	return obj.Pos() < from.Pos() || obj.Pos() >= to.End()
 }
 
+// ---- cross-function field-accessor tracking ----
+//
+// The state-integrity analyzers (snapshotdrift, durorder) reason about
+// what a *group* of functions touches: a Snapshot method plus every
+// helper it calls, a checkpoint writer plus the fsync helpers it leans
+// on. funcIndex resolves same-package call targets, closure computes
+// the reachable declaration set, and fieldUses collects every struct
+// field that set mentions — selector reads and writes, keyed
+// composite-literal fields and positional literal fields alike.
+
+// funcIndex indexes every function and method declared in one package.
+type funcIndex struct {
+	pkg    *Package
+	decls  map[*types.Func]*ast.FuncDecl
+	byName map[string][]*ast.FuncDecl // name → declarations (methods of any receiver)
+}
+
+func newFuncIndex(pkg *Package) *funcIndex {
+	ix := &funcIndex{
+		pkg:    pkg,
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+		byName: make(map[string][]*ast.FuncDecl),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				ix.decls[fn] = fd
+				ix.byName[fd.Name.Name] = append(ix.byName[fd.Name.Name], fd)
+			}
+		}
+	}
+	return ix
+}
+
+// closure returns the declarations reachable from seeds through
+// same-package calls, including the seeds themselves. A call through
+// an interface method has no body here, so it is resolved by name:
+// every package method with that name joins the closure — a deliberate
+// superset, so no implementation behind a store/tier interface escapes
+// the analysis.
+func (ix *funcIndex) closure(seeds []*ast.FuncDecl) map[*ast.FuncDecl]bool {
+	out := make(map[*ast.FuncDecl]bool)
+	var work []*ast.FuncDecl
+	add := func(fd *ast.FuncDecl) {
+		if fd != nil && !out[fd] {
+			out[fd] = true
+			work = append(work, fd)
+		}
+	}
+	for _, fd := range seeds {
+		add(fd)
+	}
+	for len(work) > 0 {
+		fd := work[len(work)-1]
+		work = work[:len(work)-1]
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObj(ix.pkg.Info, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			if decl := ix.decls[fn]; decl != nil {
+				add(decl)
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				for _, cand := range ix.byName[fn.Name()] {
+					add(cand)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldUses records every struct field the declaration set mentions,
+// keyed by the field's types.Var object. A struct value copied
+// wholesale on the right-hand side of an assignment (out[k] = *h)
+// carries every field with it, so all of them count as used; a
+// *pointer* moved around does not — the carrier-struct pattern (build
+// behind a pointer, write each field, return the pointer) must still
+// account for every field individually.
+func fieldUses(pkg *Package, decls map[*ast.FuncDecl]bool) map[*types.Var]bool {
+	used := make(map[*types.Var]bool)
+	for fd := range decls {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := pkg.Info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						used[v] = true
+					}
+				}
+			case *ast.CompositeLit:
+				markCompositeFields(pkg, n, used)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if tv, ok := pkg.Info.Types[rhs]; ok {
+						markWholeStruct(tv.Type, used, nil)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return used
+}
+
+// markWholeStruct marks every field of a named struct type (and of the
+// structs it embeds by value) as used. Pointers, slices and maps end
+// the walk: their pointees are shared, not copied.
+func markWholeStruct(t types.Type, used map[*types.Var]bool, seen map[types.Type]bool) {
+	if seen[t] {
+		return
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if _, isNamed := t.(*types.Named); !isNamed {
+		if arr, ok := t.(*types.Array); ok {
+			markWholeStruct(arr.Elem(), used, seen)
+		}
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		used[f] = true
+		markWholeStruct(f.Type(), used, seen)
+	}
+}
+
+// markCompositeFields records the struct fields a composite literal
+// initializes — by key for keyed literals, by position otherwise.
+func markCompositeFields(pkg *Package, lit *ast.CompositeLit, used map[*types.Var]bool) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := derefType(tv.Type).Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				if v, ok := pkg.Info.Uses[id].(*types.Var); ok && v.IsField() {
+					used[v] = true
+				}
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			used[st.Field(i)] = true
+		}
+	}
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// structDecl carries one named struct's syntax: its fields in type
+// order, each aligned with the ast.Field that declares it (the anchor
+// for //state: annotations and diagnostic positions).
+type structDecl struct {
+	obj    *types.TypeName
+	name   string
+	fields []structField
+}
+
+type structField struct {
+	v   *types.Var
+	ast *ast.Field
+}
+
+// structIndex maps every named struct type declared in the package to
+// its field declarations.
+func structIndex(pkg *Package) map[*types.TypeName]*structDecl {
+	out := make(map[*types.TypeName]*structDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				astStruct, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				d := &structDecl{obj: obj, name: ts.Name.Name}
+				i := 0
+				for _, af := range astStruct.Fields.List {
+					n := len(af.Names)
+					if n == 0 {
+						n = 1 // embedded field declares exactly one
+					}
+					for k := 0; k < n && i < st.NumFields(); k++ {
+						d.fields = append(d.fields, structField{v: st.Field(i), ast: af})
+						i++
+					}
+				}
+				out[obj] = d
+			}
+		}
+	}
+	return out
+}
+
+// stateAnnotation returns "derived", "transient" or "" for a field
+// declaration. //state:derived marks a field rebuilt from other state
+// after restore; //state:transient marks one that is meaningless
+// across restarts. Either places the field deliberately outside the
+// snapshot contract, with the justification text alongside.
+func stateAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			for _, kind := range []string{"derived", "transient"} {
+				rest, ok := strings.CutPrefix(c.Text, "//state:"+kind)
+				if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+					return kind
+				}
+			}
+		}
+	}
+	return ""
+}
+
 // funcName renders a readable name for a function declaration,
 // including the receiver type for methods.
 func funcName(fd *ast.FuncDecl) string {

@@ -179,7 +179,6 @@ func (s *ackingSink) Write(it streams.Item) error {
 	if err := s.inner.Write(it); err != nil {
 		return err
 	}
-	//lint:allow itemalias ownership transferred to the collector above; only the report pointer is read here
 	if rep, ok := it[itemReport].(*Report); ok {
 		s.st.noteAck(rep.Q)
 	}

@@ -239,7 +239,6 @@ func newAttrNames(ev Event, blk *Block) []string {
 		return out
 	}
 	for name := range ev.Attrs {
-		//lint:allow nodeterminism sorted below before use
 		if blk.colIndex(name) < 0 {
 			out = append(out, name)
 		}

@@ -38,21 +38,26 @@ type columnStore struct {
 	// orderScratch is the reusable overlap buffer of mergeOrder;
 	// kidScratch holds the per-row resident key ids of one insertRows
 	// call; trScratch the per-source-dictionary translation table.
-	orderScratch []int32
-	kidScratch   []uint32
-	trScratch    []uint32
+	orderScratch []int32  //state:transient reusable scratch
+	kidScratch   []uint32 //state:transient reusable scratch
+	trScratch    []uint32 //state:transient reusable scratch
 }
 
 // colBucket is one SDE type's resident state.
 type colBucket struct {
 	seg   colSeg
 	order []int32
+	// byKid indexes live row ids per key id.
+	//state:derived per-key index, rebuilt as rows are appended
 	byKid [][]int32
 	// lateMin is the dirty watermark: the earliest occurrence time
 	// among events that arrived at or before the engine's last query
 	// time, since that query. MaxTime means no late arrivals.
 	lateMin Time
 	// dead counts evicted rows still physically present in seg.
+	// Snapshots flatten only live rows, so a restored bucket starts
+	// compacted with zero dead rows.
+	//state:transient physical-layout bookkeeping, not logical state
 	dead int
 }
 
@@ -60,7 +65,8 @@ type colBucket struct {
 // nil (keys live dict-encoded in KIdx/KDict) plus the interning map
 // for the key dictionary.
 type colSeg struct {
-	blk  Block
+	blk Block
+	//state:derived interning index over blk.KDict, rebuilt by kidOf
 	kids map[string]uint32
 }
 

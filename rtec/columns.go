@@ -56,6 +56,7 @@ type BCol struct {
 
 	// dict indexes Dict for find-or-add interning; only the resident
 	// column store maintains it (nil on transport blocks).
+	//state:derived interning index over Dict, rebuilt on append
 	dict map[string]uint32
 }
 
@@ -74,8 +75,12 @@ func (c *BCol) present(row int) bool {
 type Block struct {
 	Type  string
 	Times []int64
-	Keys  []string
-	Cols  []BCol
+	// Keys is the transport representation; resident store segments
+	// keep it nil and key rows through KIdx/KDict instead (see
+	// colSeg), so the restore path rebuilds the dictionary form.
+	//state:derived transport form of KIdx/KDict; nil on resident segments
+	Keys []string
+	Cols []BCol
 
 	// KIdx/KDict optionally dictionary-encode Keys (KIdx[i] indexes
 	// KDict, one entry per row when present). The store uses them to

@@ -69,8 +69,8 @@ func (k StoreKind) String() string {
 // An Engine is not safe for concurrent use; partition the stream over
 // several engines (see Partitioned) for parallel recognition.
 type Engine struct {
-	defs *Definitions
-	opts Options
+	defs *Definitions //state:transient compiled rule set, supplied at construction; Restore requires an identically-built engine
+	opts Options      //state:transient config, supplied at construction
 
 	store   sdeStore // time-indexed SDE buckets
 	lastQ   Time
@@ -82,7 +82,9 @@ type Engine struct {
 	prev map[string]map[KV]List
 
 	// cache holds, per local rule, the previous query's output for
-	// overlap reuse (see incremental.go).
+	// overlap reuse (see incremental.go). Deliberately not captured:
+	// a restored engine's first query falls back to a full recompute.
+	//state:derived overlap cache, repopulated by the next query
 	cache map[string]*ruleCache
 
 	// seen tracks derived event instances already reported, for
@@ -92,9 +94,9 @@ type Engine struct {
 	// rowScratch is the reusable admitted-row buffer of inputBlock;
 	// sortKeys and rowCopy are the reusable buffers of its packed
 	// time sort.
-	rowScratch []int32
-	sortKeys   []uint64
-	rowCopy    []int32
+	rowScratch []int32  //state:transient reusable scratch
+	sortKeys   []uint64 //state:transient reusable scratch
+	rowCopy    []int32  //state:transient reusable scratch
 }
 
 type derivedID struct {

@@ -58,6 +58,9 @@ const (
 // behaviourally identical through the accessor methods; code must not
 // read Attrs directly on events it did not build itself.
 type Event struct {
+	// Type is the bucket key: snapshots carry it once per bucket as
+	// TypeSnapshot.Type and restoreEvent stamps it back per event.
+	//state:derived carried per bucket as TypeSnapshot.Type
 	Type  string
 	Time  Time
 	Key   string

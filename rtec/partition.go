@@ -16,17 +16,18 @@ import (
 // the buses that go through that area" (Section 7.1).
 type Partitioned struct {
 	engines []*Engine
-	assign  func(Event) int
+	assign  func(Event) int //state:transient routing function, supplied at construction
 	// blockAssign, when set, routes block rows without materializing
 	// per-row view Events: it is called once per block and the
 	// returned function once per row, so column lookups are hoisted
 	// out of the row loop. Must agree with assign on every row.
+	//state:transient routing function, supplied at construction
 	blockAssign func(*Block) func(int) int
 
 	// scratch holds the per-partition row lists InputBlock routes
 	// into; reused across calls (Input* calls must not be concurrent,
 	// matching the single-writer contract of the underlying engines).
-	scratch [][]int32
+	scratch [][]int32 //state:transient reusable scratch
 }
 
 // NewPartitioned builds n engines sharing the (immutable) definition

@@ -92,15 +92,17 @@ type eventStore struct {
 	// mergeScratch is the reusable overlap buffer of mergeBlock;
 	// kidCnt/kidEnd/kidOrder are the reusable per-key grouping buffers
 	// of insertKeyGroups.
-	mergeScratch []Event
-	kidCnt       []int32
-	kidEnd       []int32
-	kidOrder     []int32
+	mergeScratch []Event //state:transient reusable scratch
+	kidCnt       []int32 //state:transient reusable scratch
+	kidEnd       []int32 //state:transient reusable scratch
+	kidOrder     []int32 //state:transient reusable scratch
 }
 
 type typeEvents struct {
-	events []Event            // time-sorted, arrival-stable
-	byKey  map[string][]Event // per entity key, time-sorted
+	events []Event // time-sorted, arrival-stable
+	// byKey indexes events per entity key, time-sorted.
+	//state:derived rebuilt from events as they are filed
+	byKey map[string][]Event
 	// lateMin is the earliest occurrence time among events that
 	// arrived at or before the engine's last query time, since that
 	// query. MaxTime means no late arrivals.

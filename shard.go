@@ -38,6 +38,9 @@ type tierID struct {
 const (
 	tierSnapOverrides = "~shard/overrides"
 	tierSnapLoad      = "~shard/load"
+	tierSnapMeta      = "~shard/meta"
+
+	tierMetaRebalances = "rebalances"
 )
 
 // shardTier is the N-way sharded recognition tier (see DESIGN.md,
@@ -61,8 +64,8 @@ const (
 // Not safe for concurrent use: like the engines beneath it, the tier
 // assumes one caller (the recognition processor).
 type shardTier struct {
-	wm     Time
-	reg    *traffic.Registry
+	wm     Time              //state:transient config (Config.WorkingMemory), set at construction
+	reg    *traffic.Registry //state:transient config, injected at construction
 	assign *rtec.ShardMap
 	shards []*rtec.Engine
 	reduce *rtec.Engine
@@ -71,6 +74,7 @@ type shardTier struct {
 	// OwnsSensor closures, which run during concurrent shard
 	// evaluation; it is rebuilt whenever overrides change (always
 	// between queries), so queries only ever read it.
+	//state:derived rebuilt from assign by rebuildSensorOwner
 	sensorOwner map[string]int
 
 	// seen is the tier-level Fresh dedup set, pruned as identities
@@ -83,24 +87,27 @@ type shardTier struct {
 	// factor triggers a rebalance when the loaded shard exceeds
 	// factor × average routed moves; <= 0 disables automatic
 	// rebalancing (manual Rebalance still works).
-	factor float64
+	factor float64 //state:transient config (Config.RebalanceFactor)
 	// minMoves is the minimum routed moves across all shards before a
 	// skew check concludes (below it, counts keep accumulating).
-	minMoves   int
-	rebalances int
+	minMoves   int //state:transient config (Config.RebalanceMinMoves)
+	rebalances int // carried in the ~shard/meta snapshot section
 
 	// critical accumulates the modeled distributed critical path:
 	// per boundary, the slowest shard's evaluation plus the reduce
 	// evaluation (shards run in parallel, the reduce after them).
+	// Measured wall time, not recognition state: a restored tier
+	// starts its own accumulation.
+	//state:transient modeled bench accumulator over measured elapsed times
 	critical time.Duration
 
 	// serial evaluates shards one after another instead of
 	// concurrently (Config.ShardSerialEval, the shardbench measurement
 	// mode). Output is identical either way.
-	serial bool
+	serial bool //state:transient config (Config.ShardSerialEval)
 
-	scratch [][]int32    // per-shard row routing buffers
-	voteBuf []rtec.Event // reusable vote collection buffer
+	scratch [][]int32    //state:transient per-shard row routing scratch buffers
+	voteBuf []rtec.Event //state:transient reusable vote collection buffer
 }
 
 // newShardTier assembles n shard engines plus the reduce engine.
@@ -691,7 +698,10 @@ func (t *shardTier) stateSnapshot() *rtec.EngineSnapshot {
 	for _, k := range loadKeys {
 		load.Instances = append(load.Instances, rtec.InstanceSnapshot{Key: k, Value: strconv.Itoa(t.keyLoad[k])})
 	}
-	s.Prev = []rtec.FluentSnapshot{ovs, load}
+	meta := rtec.FluentSnapshot{Name: tierSnapMeta, Instances: []rtec.InstanceSnapshot{
+		{Key: tierMetaRebalances, Value: strconv.Itoa(t.rebalances)},
+	}}
+	s.Prev = []rtec.FluentSnapshot{ovs, load, meta}
 	return s
 }
 
@@ -707,6 +717,7 @@ func (t *shardTier) Restore(snaps []*rtec.EngineSnapshot) error {
 		return err
 	}
 	keyLoad := make(map[string]int)
+	rebalances := 0
 	for _, fs := range st.Prev {
 		switch fs.Name {
 		case tierSnapOverrides:
@@ -727,6 +738,19 @@ func (t *shardTier) Restore(snaps []*rtec.EngineSnapshot) error {
 				}
 				keyLoad[inst.Key] = n
 			}
+		case tierSnapMeta:
+			for _, inst := range fs.Instances {
+				switch inst.Key {
+				case tierMetaRebalances:
+					n, err := strconv.Atoi(inst.Value)
+					if err != nil {
+						return fmt.Errorf("insight: tier snapshot rebalances %q: %w", inst.Value, err)
+					}
+					rebalances = n
+				default:
+					return fmt.Errorf("insight: unknown tier snapshot meta key %q", inst.Key)
+				}
+			}
 		default:
 			return fmt.Errorf("insight: unknown tier snapshot section %q", fs.Name)
 		}
@@ -741,6 +765,7 @@ func (t *shardTier) Restore(snaps []*rtec.EngineSnapshot) error {
 	}
 	t.assign = assign
 	t.keyLoad = keyLoad
+	t.rebalances = rebalances
 	t.seen = make(map[tierID]bool, len(st.Seen))
 	for _, se := range st.Seen {
 		t.seen[tierID{typ: se.Type, key: se.Key, time: se.Time}] = true

@@ -209,7 +209,7 @@ func (c *ChaosSource) ReadContext(ctx context.Context) (Item, bool) {
 			}
 		}
 		if pb, isBatch := ItemBatch(it); isBatch {
-			out := c.faultBatch(pb)
+			out := c.faultBatchLocked(pb)
 			if out == nil {
 				continue // every row dropped or held
 			}
@@ -234,7 +234,7 @@ func (c *ChaosSource) ReadContext(ctx context.Context) (Item, bool) {
 	}
 }
 
-// faultBatch applies row-level drop/delay/dup faults to a batch
+// faultBatchLocked applies row-level drop/delay/dup faults to a batch
 // envelope, consuming rng draws in the exact per-row order of the
 // per-item path (drop, then delay, then dup, each guarded by its
 // probability) — with the same seed and DelayProb = 0, the faulted
@@ -243,7 +243,7 @@ func (c *ChaosSource) ReadContext(ctx context.Context) (Item, bool) {
 // batches whose due countdown runs in batch reads (the reorder unit of
 // batched transport). Returns nil when no row survives; otherwise the
 // surviving rows in a fresh pooled batch. The input batch is consumed.
-func (c *ChaosSource) faultBatch(b *Batch) Item {
+func (c *ChaosSource) faultBatchLocked(b *Batch) Item {
 	if c.spec.DropProb <= 0 && c.spec.DelayProb <= 0 && c.spec.DupProb <= 0 {
 		return BatchItem(b) // nothing to inject: forward untouched
 	}

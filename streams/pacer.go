@@ -52,9 +52,9 @@ func (p *Pacer) Register(id string, start int64) {
 	p.cond.Broadcast()
 }
 
-// minOthers is the slowest announced clock among the other live
+// minOthersLocked is the slowest announced clock among the other live
 // streams; ok is false when no other stream is live.
-func (p *Pacer) minOthers(id string) (int64, bool) {
+func (p *Pacer) minOthersLocked(id string) (int64, bool) {
 	min, found := int64(0), false
 	for other, c := range p.clock {
 		if other == id || p.done[other] {
@@ -87,7 +87,7 @@ func (p *Pacer) Wait(ctx context.Context, id string, t int64) bool {
 		if ctx.Err() != nil {
 			return false
 		}
-		min, constrained := p.minOthers(id)
+		min, constrained := p.minOthersLocked(id)
 		if !constrained || t <= min+p.slack {
 			return true
 		}

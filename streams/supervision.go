@@ -202,8 +202,10 @@ type supervisor struct {
 	health map[string]*ProcessHealth
 	// dead is a ring buffer of the most recent dead letters: once full,
 	// deadStart marks the oldest entry, which the next letter evicts.
-	dead      []DeadLetter
-	deadStart int
+	// Run-scoped diagnostics surfaced via DeadLetters(), not part of
+	// the health snapshot.
+	dead      []DeadLetter //state:transient run-scoped dead-letter ring
+	deadStart int          //state:transient ring cursor for dead
 }
 
 func newSupervisor(processes []*Process) *supervisor {

@@ -81,7 +81,6 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // BatchProcessor may emit several items per batch.
 func (p *Process) applyFrom(from int, it Item, dst []Item) ([]Item, error) {
 	if from >= len(p.Processors) {
-		//lint:allow itemalias the chain is done with the item: ownership transfers to the output buffer
 		return append(dst, it), nil
 	}
 	proc := p.Processors[from]
@@ -359,8 +358,8 @@ func (t *Topology) LookupService(id string) (Service, bool) {
 	return s, ok
 }
 
-// resolveSource finds a stream or queue by id.
-func (t *Topology) resolveSource(id string) (Source, bool) {
+// resolveSourceLocked finds a stream or queue by id.
+func (t *Topology) resolveSourceLocked(id string) (Source, bool) {
 	if s, ok := t.sources[id]; ok {
 		return s, true
 	}
@@ -370,8 +369,8 @@ func (t *Topology) resolveSource(id string) (Source, bool) {
 	return nil, false
 }
 
-// resolveSink finds a queue or sink by id.
-func (t *Topology) resolveSink(id string) (Sink, bool) {
+// resolveSinkLocked finds a queue or sink by id.
+func (t *Topology) resolveSinkLocked(id string) (Sink, bool) {
 	if q, ok := t.queues[id]; ok {
 		return q, true
 	}
@@ -386,13 +385,13 @@ func (t *Topology) resolveSink(id string) (Sink, bool) {
 func (t *Topology) AddProcess(name, inputID, outputID string, processors ...Processor) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	in, ok := t.resolveSource(inputID)
+	in, ok := t.resolveSourceLocked(inputID)
 	if !ok {
 		return fmt.Errorf("streams: process %q: unknown input %q", name, inputID)
 	}
 	var out Sink
 	if outputID != "" {
-		out, ok = t.resolveSink(outputID)
+		out, ok = t.resolveSinkLocked(outputID)
 		if !ok {
 			return fmt.Errorf("streams: process %q: unknown output %q", name, outputID)
 		}

@@ -232,7 +232,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, lastStart: -1}
 	if len(segs) == 0 {
-		if err := l.openSegment(0); err != nil {
+		if err := l.openSegmentLocked(0); err != nil {
 			return nil, err
 		}
 		return l, nil
@@ -311,8 +311,8 @@ func writeHeader(f *os.File, base int64) error {
 	return f.Sync()
 }
 
-// openSegment creates and activates the segment starting at base.
-func (l *Log) openSegment(base int64) error {
+// openSegmentLocked creates and activates the segment starting at base.
+func (l *Log) openSegmentLocked(base int64) error {
 	path := filepath.Join(l.dir, segmentName(base))
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
@@ -345,7 +345,7 @@ func (l *Log) LastStart() int64 {
 func (l *Log) Torn() int64 { return l.torn }
 
 // Dir returns the log directory.
-func (l *Log) Dir() string { return l.dir }
+func (l *Log) Dir() string { return l.dir } //lint:allow lockguard dir is immutable after Open
 
 // Append frames payload, writes it to the active segment and returns
 // the record's logical [start, end) offsets. With SyncAlways the
@@ -360,7 +360,7 @@ func (l *Log) Append(payload []byte) (start, end int64, err error) {
 		return 0, 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
 	}
 	if l.size >= l.opts.SegmentBytes {
-		if err := l.rotate(); err != nil {
+		if err := l.rotateLocked(); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -399,8 +399,8 @@ func (l *Log) Append(payload []byte) (start, end int64, err error) {
 	return start, start + int64(len(frame)), nil
 }
 
-// rotate seals the active segment and starts the next one.
-func (l *Log) rotate() error {
+// rotateLocked seals the active segment and starts the next one.
+func (l *Log) rotateLocked() error {
 	if l.opts.Sync != SyncNever {
 		if err := l.active.Sync(); err != nil {
 			return err
@@ -409,7 +409,7 @@ func (l *Log) rotate() error {
 	if err := l.active.Close(); err != nil {
 		return err
 	}
-	return l.openSegment(l.base + l.size)
+	return l.openSegmentLocked(l.base + l.size)
 }
 
 // Sync flushes the active segment to stable storage.
